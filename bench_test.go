@@ -1,0 +1,183 @@
+// Benchmarks reproducing the paper's evaluation, one per figure. Each
+// benchmark builds a suite at Tiny scale and reproduces its figure; repeat
+// iterations reuse the suite's cached cells, so the reported ns/op of the
+// first iteration dominates. Custom metrics surface the headline values the
+// paper reports for that figure.
+//
+// Run a single figure with e.g.:
+//
+//	go test -bench=BenchmarkFig05 -benchtime=1x
+//
+// Full-fidelity reproduction (long): cmd/ecbench -scale paper.
+package ecarray_test
+
+import (
+	"strconv"
+	"testing"
+
+	"ecarray"
+)
+
+// figBench reproduces one figure per suite, reporting a headline ratio
+// extracted by pick(tables) under the given metric name.
+func figBench(b *testing.B, fig string, metric string, pick func([]ecarray.BenchTable) float64) {
+	b.Helper()
+	suite, err := ecarray.NewSuite(ecarray.TinyBench())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var val float64
+	for i := 0; i < b.N; i++ {
+		tables, err := suite.RunFigure(fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pick != nil {
+			val = pick(tables)
+		}
+	}
+	if pick != nil {
+		b.ReportMetric(val, metric)
+	}
+}
+
+// cellValue parses table[t].Rows[r][c] as float (0 on failure).
+func cellValue(tables []ecarray.BenchTable, t, r, c int) float64 {
+	if t >= len(tables) || r >= len(tables[t].Rows) || c >= len(tables[t].Rows[r]) {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(tables[t].Rows[r][c], 64)
+	return v
+}
+
+// ratio31 returns rows[0]: column1/column3 of the first table — the
+// 3-Rep-vs-RS(10,4) headline for perf figures at the smallest block size.
+func ratio31(tables []ecarray.BenchTable) float64 {
+	rep := cellValue(tables, 0, 0, 1)
+	ec := cellValue(tables, 0, 0, 3)
+	if ec == 0 {
+		return 0
+	}
+	return rep / ec
+}
+
+// ecOverRep returns RS(10,4)/3-Rep of the first row of the first table
+// (amplification/network figures where EC exceeds replication).
+func ecOverRep(tables []ecarray.BenchTable) float64 {
+	rep := cellValue(tables, 0, 0, 1)
+	ec := cellValue(tables, 0, 0, 3)
+	if rep == 0 {
+		return 0
+	}
+	return ec / rep
+}
+
+func BenchmarkFig01Summary(b *testing.B) {
+	figBench(b, "fig1", "thr-ratio-write", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 0, 0, 2) // throughput row, write column
+	})
+}
+
+func BenchmarkFig05SeqWrite(b *testing.B) {
+	figBench(b, "fig5", "rep/ec-thr@4K", ratio31)
+}
+
+func BenchmarkFig06SeqRead(b *testing.B) {
+	figBench(b, "fig6", "rep/ec-thr@4K", ratio31)
+}
+
+func BenchmarkFig07RandWrite(b *testing.B) {
+	figBench(b, "fig7", "rep/ec-thr@4K", ratio31)
+}
+
+func BenchmarkFig08RandRead(b *testing.B) {
+	figBench(b, "fig8", "rep/ec-thr@4K", ratio31)
+}
+
+func BenchmarkFig09CPUWrite(b *testing.B) {
+	figBench(b, "fig9", "ec-user-cpu%@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 5) // random table, RS(10,4) user column
+	})
+}
+
+func BenchmarkFig10CPURead(b *testing.B) {
+	figBench(b, "fig10", "ec-user-cpu%@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 5)
+	})
+}
+
+func BenchmarkFig11CtxWrite(b *testing.B) {
+	figBench(b, "fig11", "ec/rep-ctx@4K", func(tables []ecarray.BenchTable) float64 {
+		rep, ec := cellValue(tables, 1, 0, 1), cellValue(tables, 1, 0, 3)
+		if rep == 0 {
+			return 0
+		}
+		return ec / rep
+	})
+}
+
+func BenchmarkFig12CtxRead(b *testing.B) {
+	figBench(b, "fig12", "ec/rep-ctx@4K", func(tables []ecarray.BenchTable) float64 {
+		rep, ec := cellValue(tables, 1, 0, 1), cellValue(tables, 1, 0, 3)
+		if rep == 0 {
+			return 0
+		}
+		return ec / rep
+	})
+}
+
+func BenchmarkFig13IOAmpSeqWrite(b *testing.B) {
+	figBench(b, "fig13", "ec/rep-wamp@4K", func(tables []ecarray.BenchTable) float64 {
+		rep, ec := cellValue(tables, 1, 0, 1), cellValue(tables, 1, 0, 3)
+		if rep == 0 {
+			return 0
+		}
+		return ec / rep
+	})
+}
+
+func BenchmarkFig14IOAmpRandWrite(b *testing.B) {
+	figBench(b, "fig14", "ec/rep-wamp@4K", func(tables []ecarray.BenchTable) float64 {
+		rep, ec := cellValue(tables, 1, 0, 1), cellValue(tables, 1, 0, 3)
+		if rep == 0 {
+			return 0
+		}
+		return ec / rep
+	})
+}
+
+func BenchmarkFig15ReadAmp(b *testing.B) {
+	figBench(b, "fig15", "ec-ramp-rand@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 3) // random table, RS(10,4)
+	})
+}
+
+func BenchmarkFig16NetWrite(b *testing.B) {
+	figBench(b, "fig16", "ec-net/req-rand@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 3)
+	})
+}
+
+func BenchmarkFig17NetRead(b *testing.B) {
+	figBench(b, "fig17", "ec-net/req-rand@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 3)
+	})
+}
+
+func BenchmarkFig18RandSeqRatio(b *testing.B) {
+	figBench(b, "fig18", "ec-rand/seq-write@4K", func(tables []ecarray.BenchTable) float64 {
+		return cellValue(tables, 1, 0, 3) // write table, RS(6,3)
+	})
+}
+
+func BenchmarkFig19ObjectInit(b *testing.B) {
+	figBench(b, "fig19", "rows", func(tables []ecarray.BenchTable) float64 {
+		return float64(len(tables[0].Rows))
+	})
+}
+
+func BenchmarkFig20PristineVsOverwrite(b *testing.B) {
+	figBench(b, "fig20", "pristine-rows", func(tables []ecarray.BenchTable) float64 {
+		return float64(len(tables[0].Rows))
+	})
+}

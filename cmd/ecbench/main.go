@@ -1,0 +1,96 @@
+// Command ecbench reproduces the paper's evaluation figures on the
+// simulated cluster and prints each as an aligned table (optionally CSV).
+//
+// Usage:
+//
+//	ecbench [-fig all|fig1|fig5|...|fig20] [-scale quick|paper]
+//	        [-duration 8s] [-image 32] [-qd 256] [-csvdir out/]
+//
+// Scale "paper" runs the full 1KB..128KB sweep with long windows (minutes
+// of wall time); "quick" runs a reduced sweep for fast iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ecarray/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce (fig1, fig5..fig20, or all)")
+	ablations := flag.Bool("ablations", false, "run the mechanism ablations instead of figures")
+	scale := flag.String("scale", "quick", "preset: quick or paper")
+	duration := flag.Duration("duration", 0, "override measurement window per run")
+	imageGiB := flag.Int64("image", 0, "override image size in GiB")
+	qd := flag.Int("qd", 0, "override queue depth")
+	csvdir := flag.String("csvdir", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	var opt bench.Options
+	switch *scale {
+	case "quick":
+		opt = bench.Quick()
+	case "paper":
+		opt = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "ecbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *duration > 0 {
+		opt.Duration = *duration
+	}
+	if *imageGiB > 0 {
+		opt.ImageSize = *imageGiB << 30
+	}
+	if *qd > 0 {
+		opt.QueueDepth = *qd
+	}
+
+	suite, err := bench.NewSuite(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tables []bench.Table
+	start := time.Now()
+	switch {
+	case *ablations:
+		tables, err = suite.RunAllAblations()
+	case *fig == "all":
+		tables, err = suite.RunAll()
+	default:
+		tables, err = suite.RunFigure(*fig)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
+	fmt.Printf("reproduced %d table(s) in %s (simulated window %s per run)\n",
+		len(tables), time.Since(start).Round(time.Second), opt.Duration)
+
+	if *csvdir != "" {
+		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			name := filepath.Join(*csvdir, strings.ReplaceAll(t.ID, "/", "_")+".csv")
+			if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d CSV files to %s\n", len(tables), *csvdir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecbench:", err)
+	os.Exit(1)
+}

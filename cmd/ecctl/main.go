@@ -1,0 +1,131 @@
+// Command ecctl inspects the simulated cluster the way ceph CLI tools
+// inspect a real one: CRUSH placement dumps, object→PG mappings, and
+// per-OSD utilization after a workload.
+//
+// Usage:
+//
+//	ecctl crush   [-profile 3rep|rs6.3|rs10.4] [-pgs 64]
+//	ecctl map     [-profile ...] -object rbd_data.vol.0000000000000000
+//	ecctl osd-df  [-profile ...] [-duration 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ecarray"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	profileName := fs.String("profile", "rs6.3", "pool profile: 3rep, rs6.3, rs10.4")
+	pgs := fs.Int("pgs", 32, "placement groups to show (crush) or configure")
+	object := fs.String("object", "", "object name (map)")
+	duration := fs.Duration("duration", time.Second, "workload length (osd-df)")
+	fs.Parse(os.Args[2:]) //nolint:errcheck
+
+	profile, err := parseProfile(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ecarray.DefaultConfig()
+	cfg.DeviceCapacity = 2 << 30
+	cfg.PGsPerPool = max(*pgs, 32)
+	cluster, err := ecarray.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	pool, err := cluster.CreatePool("data", profile)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "crush":
+		fmt.Printf("pool data profile=%s width=%d pgs=%d\n", profile, profile.Width(), pool.PGs())
+		for pg := 0; pg < *pgs && pg < pool.PGs(); pg++ {
+			// Use a synthetic object that maps to each PG for display; the
+			// acting set is a property of the PG itself.
+			fmt.Printf("  pg %4d -> %v\n", pg, actingOfPG(pool, pg))
+		}
+	case "map":
+		if *object == "" {
+			fatal(fmt.Errorf("map requires -object"))
+		}
+		set := pool.ActingSet(*object)
+		fmt.Printf("object %q\n  pg:      %d\n  acting:  %v (primary osd%d)\n  hosts:   %s\n",
+			*object, pool.PGFor(*object), set, set[0], hostsOf(cluster, set))
+	case "osd-df":
+		img, err := cluster.CreateImage("data", "ecctl", 2<<30)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := ecarray.RunJob(cluster, img, ecarray.Job{
+			Name: "ecctl", Op: ecarray.OpWrite, Pattern: ecarray.PatternRandom,
+			BlockSize: 16 << 10, QueueDepth: 64, Duration: *duration, Seed: 1,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %-7s %9s %12s %12s %8s %8s\n",
+			"osd", "host", "objects", "dev-written", "dev-read", "flashWA", "erases")
+		for _, osd := range cluster.OSDs() {
+			ds := osd.Store.Device().Stats()
+			fmt.Printf("osd%-3d %-7s %9d %11.1fM %11.1fM %8.2f %8d\n",
+				osd.ID, osd.Node.Name, osd.Store.Objects(),
+				float64(ds.HostWriteBytes)/(1<<20), float64(ds.HostReadBytes)/(1<<20),
+				ds.WriteAmplification(), ds.Erases)
+		}
+	default:
+		usage()
+	}
+}
+
+// actingOfPG reflects a PG's acting set by probing object names until one
+// lands on the PG (display helper; acting sets are per-PG).
+func actingOfPG(pool *ecarray.Pool, pg int) []int {
+	for i := 0; i < 100000; i++ {
+		name := fmt.Sprintf("probe-%d", i)
+		if pool.PGFor(name) == pg {
+			return pool.ActingSet(name)
+		}
+	}
+	return nil
+}
+
+func hostsOf(c *ecarray.Cluster, osds []int) string {
+	var hosts []string
+	for _, id := range osds {
+		hosts = append(hosts, c.OSDs()[id].Node.Name)
+	}
+	return strings.Join(hosts, ",")
+}
+
+func parseProfile(s string) (ecarray.Profile, error) {
+	switch s {
+	case "3rep":
+		return ecarray.ProfileReplicated(3), nil
+	case "rs6.3":
+		return ecarray.ProfileEC(6, 3), nil
+	case "rs10.4":
+		return ecarray.ProfileEC(10, 4), nil
+	}
+	return ecarray.Profile{}, fmt.Errorf("unknown profile %q", s)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ecctl crush|map|osd-df [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecctl:", err)
+	os.Exit(1)
+}

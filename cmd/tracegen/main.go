@@ -1,0 +1,149 @@
+// Command tracegen regenerates the paper's released trace corpus: 54
+// block-level traces collected from the storage cluster (§I). The corpus
+// composition is:
+//
+//   - 36 data traces: 3 schemes × 3 block sizes (4K/16K/128K) × 4 workloads
+//     (seq/rand × read/write), capturing object-data device I/O;
+//   - 18 metadata traces: for the 18 write workloads, the I/O landing in the
+//     OSD stores' WAL+metadata regions (the paper's separate metadata pool).
+//
+// Each trace is a text file (see internal/trace for the format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ecarray/internal/core"
+	"ecarray/internal/sim"
+	"ecarray/internal/trace"
+	"ecarray/internal/workload"
+)
+
+func main() {
+	outDir := flag.String("out", "traces", "output directory")
+	duration := flag.Duration("duration", time.Second, "workload duration per trace")
+	imageGiB := flag.Int64("image", 2, "image size in GiB")
+	qd := flag.Int("qd", 64, "queue depth")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	schemes := []struct {
+		name    string
+		profile core.Profile
+	}{
+		{"3rep", core.ProfileReplicated(3)},
+		{"rs6_3", core.ProfileEC(6, 3)},
+		{"rs10_4", core.ProfileEC(10, 4)},
+	}
+	blockSizes := []int64{4 << 10, 16 << 10, 128 << 10}
+	patterns := []workload.Pattern{workload.Sequential, workload.Random}
+	ops := []workload.Op{workload.Read, workload.Write}
+
+	count := 0
+	for _, sc := range schemes {
+		for _, bs := range blockSizes {
+			for _, pat := range patterns {
+				for _, op := range ops {
+					n, err := genTrace(*outDir, sc.name, sc.profile, bs, pat, op, *duration, *imageGiB<<30, *qd)
+					if err != nil {
+						fatal(err)
+					}
+					count += n
+				}
+			}
+		}
+	}
+	fmt.Printf("wrote %d traces to %s\n", count, *outDir)
+}
+
+func genTrace(dir, scheme string, profile core.Profile, bs int64,
+	pat workload.Pattern, op workload.Op, duration time.Duration, imageSize int64, qd int) (int, error) {
+	cfg := core.DefaultConfig()
+	cfg.DeviceCapacity = maxI64(2<<30, imageSize*6/24)
+	cfg.PGsPerPool = 256
+	e := sim.NewEngine()
+	c, err := core.New(e, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.CreatePool("data", profile); err != nil {
+		return 0, err
+	}
+	img, err := c.CreateImage("data", "trace", imageSize)
+	if err != nil {
+		return 0, err
+	}
+	if op == workload.Read {
+		img.Prefill()
+	}
+
+	rec := trace.NewRecorder(e)
+	rec.SetMeta("scheme", profile.String())
+	rec.SetMeta("workload", fmt.Sprintf("%s%s", pat, op))
+	rec.SetMeta("bs", fmt.Sprint(bs))
+	rec.SetMeta("qd", fmt.Sprint(qd))
+	rec.SetMeta("image_bytes", fmt.Sprint(imageSize))
+	rec.SetMeta("source", "ecarray simulated reproduction of IISWC'17 camelab traces")
+	rec.Attach(c)
+
+	if _, err := workload.Run(c, img, workload.Job{
+		Name: "trace", Op: op, Pattern: pat, BlockSize: bs,
+		QueueDepth: qd, Duration: duration, Seed: 7,
+	}); err != nil {
+		return 0, err
+	}
+	c.Engine().Drain()
+
+	base := fmt.Sprintf("%s_%s%s_bs%dk", scheme, pat, op, bs>>10)
+	// The store keeps WAL+metadata in the first 2×WALRegion bytes of every
+	// device: that region's I/O is the metadata-pool trace.
+	metaEvents, dataEvents := rec.FilterRegion(2 * cfg.Store.WALRegion)
+
+	written := 0
+	if err := writeTrace(filepath.Join(dir, base+"_data.trace"), rec, dataEvents); err != nil {
+		return written, err
+	}
+	written++
+	if op == workload.Write {
+		if err := writeTrace(filepath.Join(dir, base+"_meta.trace"), rec, metaEvents); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+func writeTrace(path string, rec *trace.Recorder, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := rec.WriteEvents(f, events); err != nil {
+		return err
+	}
+	s := trace.Summarize(events)
+	fmt.Printf("%-44s %8d events, %6.1f MiB read, %6.1f MiB written\n",
+		filepath.Base(path), s.Events,
+		float64(s.ReadBytes)/(1<<20), float64(s.WriteBytes)/(1<<20))
+	return f.Close()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

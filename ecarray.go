@@ -1,0 +1,193 @@
+// Package ecarray reproduces "Understanding System Characteristics of
+// Online Erasure Coding on Scalable, Distributed and Large-Scale SSD Array
+// Systems" (Koh et al., IISWC 2017) as a Go library.
+//
+// It provides:
+//
+//   - a from-scratch Reed-Solomon erasure codec over GF(2^8) with the
+//     extended-Vandermonde systematic generator construction the paper
+//     describes (§II-C);
+//   - a deterministic discrete-event simulation of the paper's testbed — a
+//     Ceph-like cluster of 4 storage nodes, 24 OSDs on simulated SSDs with
+//     page-mapped FTLs, 10 Gb public/private networks, placement groups,
+//     replicated and erasure-coded backends, and RBD image striping;
+//   - an FIO-like workload runner and a benchmark harness that regenerates
+//     every figure of the paper's evaluation (Figs 1, 5-20), plus a
+//     blktrace-style trace recorder reproducing the released 54-trace
+//     corpus.
+//
+// # Quick start
+//
+//	cluster, err := ecarray.NewCluster(ecarray.DefaultConfig())
+//	// create a pool with the paper's RS(6,3) profile and a block image
+//	pool, err := cluster.CreatePool("data", ecarray.ProfileEC(6, 3))
+//	img, err := cluster.CreateImage("data", "vol0", 8<<30)
+//	res, err := ecarray.RunJob(cluster, img, ecarray.Job{
+//	    Op: ecarray.OpWrite, Pattern: ecarray.PatternRandom,
+//	    BlockSize: 4096, QueueDepth: 256, Duration: 2 * time.Second,
+//	})
+//	fmt.Println(res)
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// mapping from paper sections to modules.
+package ecarray
+
+import (
+	"io"
+
+	"ecarray/internal/bench"
+	"ecarray/internal/core"
+	"ecarray/internal/rs"
+	"ecarray/internal/sim"
+	"ecarray/internal/trace"
+	"ecarray/internal/workload"
+)
+
+// Core cluster types.
+type (
+	// Config describes the simulated cluster (see DefaultConfig).
+	Config = core.Config
+	// CostModel holds the calibrated software-stack costs.
+	CostModel = core.CostModel
+	// Profile selects a pool's fault-tolerance mechanism.
+	Profile = core.Profile
+	// Cluster is the assembled storage system.
+	Cluster = core.Cluster
+	// Pool is a PG-sharded namespace with one fault-tolerance profile.
+	Pool = core.Pool
+	// Image is an RBD-style block device striped over 4 MiB objects.
+	Image = core.Image
+	// Metrics is a snapshot of cluster-side counters.
+	Metrics = core.Metrics
+	// OSD is one object storage daemon.
+	OSD = core.OSD
+	// RecoveryStats summarizes a repair pass.
+	RecoveryStats = core.RecoveryStats
+)
+
+// Simulation engine types.
+type (
+	// Engine is the deterministic discrete-event engine driving a cluster.
+	Engine = sim.Engine
+	// Proc is a simulation process handle.
+	Proc = sim.Proc
+)
+
+// Workload types.
+type (
+	// Job describes an FIO-like run.
+	Job = workload.Job
+	// Result summarizes a run.
+	Result = workload.Result
+	// Sample is one time-series point of a sampled run.
+	Sample = workload.Sample
+	// Pattern is the access pattern of a job.
+	Pattern = workload.Pattern
+	// Op is the request type of a job.
+	Op = workload.Op
+)
+
+// Benchmark-harness types.
+type (
+	// BenchOptions scales the figure reproduction.
+	BenchOptions = bench.Options
+	// Suite caches one run per (scheme, pattern, op, block size).
+	Suite = bench.Suite
+	// BenchTable is one rendered figure.
+	BenchTable = bench.Table
+	// Scheme pairs a display name with a pool profile.
+	Scheme = bench.Scheme
+)
+
+// Trace types.
+type (
+	// TraceRecorder captures blktrace-style events from OSD devices.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one block-level I/O.
+	TraceEvent = trace.Event
+	// TraceStats summarizes a trace.
+	TraceStats = trace.Stats
+)
+
+// ParseTrace reads a serialized trace, returning headers and events.
+func ParseTrace(r io.Reader) (map[string]string, []TraceEvent, error) {
+	return trace.Parse(r)
+}
+
+// SummarizeTrace computes aggregate statistics over trace events.
+func SummarizeTrace(events []TraceEvent) TraceStats {
+	return trace.Summarize(events)
+}
+
+// RS is the Reed-Solomon codec (the paper's coding substrate).
+type RS = rs.Code
+
+// Workload constants.
+const (
+	PatternSequential = workload.Sequential
+	PatternRandom     = workload.Random
+	OpRead            = workload.Read
+	OpWrite           = workload.Write
+)
+
+// DefaultConfig returns a cluster shaped like the paper's testbed: 4
+// storage nodes × 6 OSDs × 24 cores, a 36-core client, and two 10 Gb
+// networks.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultCostModel returns the calibrated software cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// ProfileReplicated returns an n-replica pool profile (paper default: 3).
+func ProfileReplicated(n int) Profile { return core.ProfileReplicated(n) }
+
+// ProfileEC returns an RS(k,m) pool profile; the paper evaluates RS(6,3)
+// (Google Colossus) and RS(10,4) (Facebook).
+func ProfileEC(k, m int) Profile { return core.ProfileEC(k, m) }
+
+// NewCluster builds a cluster on a fresh simulation engine.
+func NewCluster(cfg Config) (*Cluster, error) {
+	return core.New(sim.NewEngine(), cfg)
+}
+
+// NewClusterOn builds a cluster on an existing engine (for co-simulation
+// with custom processes).
+func NewClusterOn(e *Engine, cfg Config) (*Cluster, error) {
+	return core.New(e, cfg)
+}
+
+// RunJob executes an FIO-like job against an image and returns its result.
+func RunJob(c *Cluster, img *Image, job Job) (Result, error) {
+	return workload.Run(c, img, job)
+}
+
+// NewRS constructs an RS(k,m) codec.
+func NewRS(k, m int) (*RS, error) { return rs.New(k, m) }
+
+// NewTraceRecorder creates a blktrace-style recorder for the cluster's
+// engine; call Attach(cluster) to start capturing.
+func NewTraceRecorder(c *Cluster) *TraceRecorder {
+	return trace.NewRecorder(c.Engine())
+}
+
+// NewSuite creates a figure-reproduction suite.
+func NewSuite(opt BenchOptions) (*Suite, error) { return bench.NewSuite(opt) }
+
+// QuickBench returns reduced-scale benchmark options; PaperBench returns
+// the full-fidelity preset.
+func QuickBench() BenchOptions { return bench.Quick() }
+
+// PaperBench returns benchmark options matching the paper's campaign scale.
+func PaperBench() BenchOptions { return bench.Paper() }
+
+// TinyBench returns the smallest meaningful benchmark options (tests).
+func TinyBench() BenchOptions { return bench.Tiny() }
+
+// Schemes returns the paper's three fault-tolerance configurations.
+func Schemes() []Scheme { return bench.Schemes() }
+
+// FigureIDs lists every reproducible figure in paper order.
+func FigureIDs() []string { return bench.FigureIDs() }
+
+// AblationIDs lists the mechanism-ablation experiments.
+func AblationIDs() []string { return bench.AblationIDs() }

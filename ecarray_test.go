@@ -1,0 +1,121 @@
+package ecarray_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ecarray"
+)
+
+func TestPublicAPIQuickPath(t *testing.T) {
+	cfg := ecarray.DefaultConfig()
+	cfg.DeviceCapacity = 2 << 30
+	cfg.PGsPerPool = 64
+	cfg.CarryData = true
+
+	cluster, err := ecarray.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.CreatePool("data", ecarray.ProfileEC(6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := cluster.CreateImage("data", "vol", 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("ecarray!"), 8192)
+	var got []byte
+	cluster.Engine().RunProc("api", func(p *ecarray.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err = img.Read(p, 0, int64(len(payload)))
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("public API round trip failed")
+	}
+	cluster.Stop()
+	cluster.Engine().Run()
+}
+
+func TestPublicRSFacade(t *testing.T) {
+	code, err := ecarray.NewRS(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.StorageOverhead() != 1.5 {
+		t.Fatal("RS(6,3) overhead must be 1.5")
+	}
+	shards, err := code.Split([]byte("hello erasure coded world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[7] = nil, nil
+	if err := code.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	out, err := code.Join(shards, 25)
+	if err != nil || string(out) != "hello erasure coded world" {
+		t.Fatalf("facade reconstruct failed: %q, %v", out, err)
+	}
+}
+
+func TestRunJobFacade(t *testing.T) {
+	cfg := ecarray.DefaultConfig()
+	cfg.DeviceCapacity = 2 << 30
+	cfg.PGsPerPool = 64
+	cluster, err := ecarray.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.CreatePool("data", ecarray.ProfileReplicated(3)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := cluster.CreateImage("data", "vol", 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ecarray.RunJob(cluster, img, ecarray.Job{
+		Name: "api", Op: ecarray.OpWrite, Pattern: ecarray.PatternRandom,
+		BlockSize: 8192, QueueDepth: 32, Duration: 300 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.MBps == 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	if !strings.Contains(res.String(), "MB/s") {
+		t.Fatal("result stringer wrong")
+	}
+}
+
+func TestSchemesAndFigureIDs(t *testing.T) {
+	if len(ecarray.Schemes()) != 3 {
+		t.Fatal("want 3 schemes")
+	}
+	ids := ecarray.FigureIDs()
+	if len(ids) != 17 || ids[0] != "fig1" || ids[len(ids)-1] != "fig20" {
+		t.Fatalf("figure ids = %v", ids)
+	}
+}
+
+func TestBenchPresets(t *testing.T) {
+	for _, opt := range []ecarray.BenchOptions{
+		ecarray.TinyBench(), ecarray.QuickBench(), ecarray.PaperBench(),
+	} {
+		if _, err := ecarray.NewSuite(opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ecarray/internal/workload"
+)
+
+// tinySuite returns a suite at the smallest meaningful scale.
+func tinySuite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := NewSuite(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{},
+		{BlockSizes: []int64{4096}, QueueDepth: 0, ImageSize: 1, PGs: 1, Duration: time.Second},
+		{BlockSizes: []int64{4096}, QueueDepth: 1, ImageSize: 1, PGs: 1, Duration: 0},
+	}
+	for i, o := range bad {
+		if _, err := NewSuite(o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+	if _, err := NewSuite(Tiny()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(PaperBlockSizes()) != 8 {
+		t.Fatal("paper sweep must cover 1KB..128KB")
+	}
+	for _, o := range []Options{Quick(), Tiny(), Paper()} {
+		if err := o.validate(); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+	if Paper().ImageSize <= Quick().ImageSize {
+		t.Fatal("paper preset must be larger than quick")
+	}
+}
+
+func TestSchemes(t *testing.T) {
+	sc := Schemes()
+	if len(sc) != 3 || sc[0].Name != "3-Rep" || sc[1].Name != "RS(6,3)" || sc[2].Name != "RS(10,4)" {
+		t.Fatalf("schemes = %v", sc)
+	}
+}
+
+func TestCellCaching(t *testing.T) {
+	s := tinySuite(t)
+	a, err := s.Cell(Schemes()[0], workload.Random, workload.Write, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Cell(Schemes()[0], workload.Random, workload.Write, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.Bytes != b.Bytes {
+		t.Fatal("cached cell differs from original run")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{
+		ID: "t", Title: "demo",
+		Columns: []string{"bs", "v"},
+		Rows:    [][]string{{"4KB", "1.5"}},
+		Notes:   []string{"hello"},
+	}
+	text := tb.Format()
+	for _, want := range []string{"demo", "4KB", "1.5", "note: hello"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Format missing %q:\n%s", want, text)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "bs,v\n4KB,1.5\n") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestBsLabel(t *testing.T) {
+	if bsLabel(4096) != "4KB" || bsLabel(2<<20) != "2MB" {
+		t.Fatal("bsLabel wrong")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	s := tinySuite(t)
+	if _, err := s.RunFigure("fig99"); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
+
+func TestFigureIDsCovered(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 reproducible figures, got %d", len(ids))
+	}
+}
+
+// TestCalibrationInvariants asserts the qualitative shapes of the paper's
+// findings at tiny scale: who wins, in which direction, by roughly what
+// kind of factor. These bands are deliberately wide — they guard the
+// mechanisms, not the exact numbers.
+func TestCalibrationInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	s := tinySuite(t)
+	const bs = 4096
+	cell := func(scheme int, pat workload.Pattern, op workload.Op) Cell {
+		c, err := s.Cell(Schemes()[scheme], pat, op, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	rep, rs63 := 0, 1
+
+	t.Run("seq write: EC several times slower than replication (paper 8.6x)", func(t *testing.T) {
+		r := cell(rep, workload.Sequential, workload.Write).MBps
+		e := cell(rs63, workload.Sequential, workload.Write).MBps
+		if ratio := r / e; ratio < 2 || ratio > 40 {
+			t.Errorf("3-Rep/RS(6,3) seq-write ratio = %.1f, want in [2,40]", ratio)
+		}
+	})
+	t.Run("rand write: EC slower than replication (paper 3.4x)", func(t *testing.T) {
+		r := cell(rep, workload.Random, workload.Write).MBps
+		e := cell(rs63, workload.Random, workload.Write).MBps
+		if ratio := r / e; ratio < 1.5 || ratio > 40 {
+			t.Errorf("3-Rep/RS(6,3) rand-write ratio = %.1f, want in [1.5,40]", ratio)
+		}
+	})
+	t.Run("rand read: schemes within ~25% (paper <10%)", func(t *testing.T) {
+		r := cell(rep, workload.Random, workload.Read).MBps
+		e := cell(rs63, workload.Random, workload.Read).MBps
+		if ratio := r / e; ratio < 0.75 || ratio > 1.34 {
+			t.Errorf("rand-read ratio = %.2f, want ~1", ratio)
+		}
+	})
+	t.Run("read degradation much milder than write degradation", func(t *testing.T) {
+		wRatio := cell(rep, workload.Sequential, workload.Write).MBps / cell(rs63, workload.Sequential, workload.Write).MBps
+		rRatio := cell(rep, workload.Sequential, workload.Read).MBps / cell(rs63, workload.Sequential, workload.Read).MBps
+		if wRatio <= rRatio {
+			t.Errorf("write degradation (%.1fx) must exceed read degradation (%.1fx)", wRatio, rRatio)
+		}
+	})
+	t.Run("EC rand-read amp ~ stripe/bs (paper 6.9x vs 3-Rep at 4KB)", func(t *testing.T) {
+		e := cell(rs63, workload.Random, workload.Read).DevReadPerReq()
+		r := cell(rep, workload.Random, workload.Read).DevReadPerReq()
+		if e < 3 || e > 9 {
+			t.Errorf("RS(6,3) rand-read amp = %.1f, want ~6", e)
+		}
+		if r > 1.5 {
+			t.Errorf("3-Rep rand-read amp = %.1f, want ~1", r)
+		}
+	})
+	t.Run("EC write amp far above replication (paper up to 55x more)", func(t *testing.T) {
+		e := cell(rs63, workload.Random, workload.Write).DevWritePerReq()
+		r := cell(rep, workload.Random, workload.Write).DevWritePerReq()
+		if r < 3 || r > 12 {
+			t.Errorf("3-Rep rand-write amp = %.1f, want ~3-10", r)
+		}
+		if e/r < 4 {
+			t.Errorf("RS(6,3)/3-Rep write-amp ratio = %.1f, want >= 4", e/r)
+		}
+	})
+	t.Run("replicated reads leave private network idle; EC reads do not (Fig 17)", func(t *testing.T) {
+		r := cell(rep, workload.Random, workload.Read).NetPerReq()
+		e := cell(rs63, workload.Random, workload.Read).NetPerReq()
+		if r > 0.1 {
+			t.Errorf("3-Rep read private/req = %.2f, want ~0", r)
+		}
+		if e < 1 {
+			t.Errorf("RS(6,3) read private/req = %.2f, want chunk pulls >= 1", e)
+		}
+	})
+	t.Run("3-Rep write private traffic ~2x request (replica pushes)", func(t *testing.T) {
+		r := cell(rep, workload.Random, workload.Write).NetPerReq()
+		if r < 1.8 || r > 3 {
+			t.Errorf("3-Rep write private/req = %.2f, want ~2", r)
+		}
+	})
+	t.Run("EC needs more CPU and context switches per MB for writes", func(t *testing.T) {
+		rc := cell(rep, workload.Random, workload.Write)
+		ec := cell(rs63, workload.Random, workload.Write)
+		if ec.CtxPerMB() <= rc.CtxPerMB() {
+			t.Errorf("EC ctx/MB (%.0f) must exceed replication's (%.0f)", ec.CtxPerMB(), rc.CtxPerMB())
+		}
+	})
+	t.Run("user-mode CPU dominates (paper: 70-75%)", func(t *testing.T) {
+		c := cell(rs63, workload.Random, workload.Write)
+		user, kern := c.Metrics.UserCPU, c.Metrics.KernelCPU
+		if share := user / (user + kern); share < 0.55 || share > 0.9 {
+			t.Errorf("user share = %.2f, want ~0.7", share)
+		}
+	})
+}
+
+func TestBareSSDRandSeqRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := tinySuite(t)
+	seq, err := s.BareSSD(workload.Sequential, workload.Read, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := s.BareSSD(workload.Random, workload.Read, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig 18: the bare SSD's random throughput never beats sequential.
+	if ratio := rnd.MBps / seq.MBps; ratio > 1.05 {
+		t.Fatalf("bare SSD rand/seq = %.2f, want <= 1", ratio)
+	}
+	if seq.MBps == 0 || rnd.MBps == 0 {
+		t.Fatal("bare SSD produced no throughput")
+	}
+}
+
+func TestFig19ShowsECStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := tinySuite(t)
+	tables, err := s.RunFigure("fig19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) < 5 {
+		t.Fatalf("fig19 shape wrong: %+v", tables)
+	}
+}

@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/workload"
+)
+
+// FigureIDs lists every reproducible figure in paper order.
+func FigureIDs() []string {
+	return []string{
+		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20",
+	}
+}
+
+// RunFigure produces the table(s) reproducing one paper figure, running (or
+// reusing) the suite cells it needs.
+func (s *Suite) RunFigure(id string) ([]Table, error) {
+	switch id {
+	case "fig1":
+		return s.fig1()
+	case "fig5":
+		return s.perfFigure("fig5", "Sequential write performance (paper Fig 5)", workload.Sequential, workload.Write)
+	case "fig6":
+		return s.perfFigure("fig6", "Sequential read performance (paper Fig 6)", workload.Sequential, workload.Read)
+	case "fig7":
+		return s.perfFigure("fig7", "Random write performance (paper Fig 7)", workload.Random, workload.Write)
+	case "fig8":
+		return s.perfFigure("fig8", "Random read performance (paper Fig 8)", workload.Random, workload.Read)
+	case "fig9":
+		return s.cpuFigure("fig9", "CPU utilization by writes (paper Fig 9)", workload.Write)
+	case "fig10":
+		return s.cpuFigure("fig10", "CPU utilization by reads (paper Fig 10)", workload.Read)
+	case "fig11":
+		return s.ctxFigure("fig11", "Context switches per MB, writes (paper Fig 11)", workload.Write)
+	case "fig12":
+		return s.ctxFigure("fig12", "Context switches per MB, reads (paper Fig 12)", workload.Read)
+	case "fig13":
+		return s.ampFigure("fig13", "I/O amplification, sequential writes (paper Fig 13)", workload.Sequential, workload.Write, true)
+	case "fig14":
+		return s.ampFigure("fig14", "I/O amplification, random writes (paper Fig 14)", workload.Random, workload.Write, true)
+	case "fig15":
+		return s.readAmpFigure()
+	case "fig16":
+		return s.netFigure("fig16", "Private network traffic per request, writes (paper Fig 16)", workload.Write)
+	case "fig17":
+		return s.netFigure("fig17", "Private network traffic per request, reads (paper Fig 17)", workload.Read)
+	case "fig18":
+		return s.fig18()
+	case "fig19":
+		return s.fig19()
+	case "fig20":
+		return s.fig20()
+	}
+	return nil, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// RunAll reproduces every figure.
+func (s *Suite) RunAll() ([]Table, error) {
+	var out []Table
+	for _, id := range FigureIDs() {
+		ts, err := s.RunFigure(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// sweep gathers the three schemes' cells for a (pattern, op) family.
+func (s *Suite) sweep(pattern workload.Pattern, op workload.Op) (map[string][]Cell, error) {
+	out := map[string][]Cell{}
+	for _, sc := range Schemes() {
+		for _, bs := range s.Opt.BlockSizes {
+			c, err := s.Cell(sc, pattern, op, bs)
+			if err != nil {
+				return nil, err
+			}
+			out[sc.Name] = append(out[sc.Name], c)
+		}
+	}
+	return out, nil
+}
+
+func (s *Suite) perfFigure(id, title string, pattern workload.Pattern, op workload.Op) ([]Table, error) {
+	cells, err := s.sweep(pattern, op)
+	if err != nil {
+		return nil, err
+	}
+	thr := Table{ID: id + "a", Title: title + " — throughput (MB/s)",
+		Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"}}
+	lat := Table{ID: id + "b", Title: title + " — mean latency (ms)",
+		Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"}}
+	for i, bs := range s.Opt.BlockSizes {
+		thr.Rows = append(thr.Rows, []string{bsLabel(bs),
+			f1(cells["3-Rep"][i].MBps), f1(cells["RS(6,3)"][i].MBps), f1(cells["RS(10,4)"][i].MBps)})
+		lat.Rows = append(lat.Rows, []string{bsLabel(bs),
+			f2(ms(cells["3-Rep"][i].MeanLatency)), f2(ms(cells["RS(6,3)"][i].MeanLatency)), f2(ms(cells["RS(10,4)"][i].MeanLatency))})
+	}
+	return []Table{thr, lat}, nil
+}
+
+func (s *Suite) cpuFigure(id, title string, op workload.Op) ([]Table, error) {
+	var out []Table
+	for _, pat := range []workload.Pattern{workload.Sequential, workload.Random} {
+		cells, err := s.sweep(pat, op)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:    fmt.Sprintf("%s%s", id, map[workload.Pattern]string{workload.Sequential: "a", workload.Random: "b"}[pat]),
+			Title: fmt.Sprintf("%s — %s (%%CPU user/system)", title, pat),
+			Columns: []string{"bs", "3-Rep user", "3-Rep sys",
+				"RS(6,3) user", "RS(6,3) sys", "RS(10,4) user", "RS(10,4) sys"},
+		}
+		for i, bs := range s.Opt.BlockSizes {
+			row := []string{bsLabel(bs)}
+			for _, sc := range []string{"3-Rep", "RS(6,3)", "RS(10,4)"} {
+				c := cells[sc][i]
+				row = append(row, f2(c.Metrics.UserCPU*100), f2(c.Metrics.KernelCPU*100))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (s *Suite) ctxFigure(id, title string, op workload.Op) ([]Table, error) {
+	var out []Table
+	for _, pat := range []workload.Pattern{workload.Sequential, workload.Random} {
+		cells, err := s.sweep(pat, op)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:      fmt.Sprintf("%s%s", id, map[workload.Pattern]string{workload.Sequential: "a", workload.Random: "b"}[pat]),
+			Title:   fmt.Sprintf("%s — %s (switches/MB)", title, pat),
+			Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"},
+		}
+		for i, bs := range s.Opt.BlockSizes {
+			t.Rows = append(t.Rows, []string{bsLabel(bs),
+				f1(cells["3-Rep"][i].CtxPerMB()), f1(cells["RS(6,3)"][i].CtxPerMB()), f1(cells["RS(10,4)"][i].CtxPerMB())})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (s *Suite) ampFigure(id, title string, pattern workload.Pattern, op workload.Op, withWrites bool) ([]Table, error) {
+	cells, err := s.sweep(pattern, op)
+	if err != nil {
+		return nil, err
+	}
+	rd := Table{ID: id + "a", Title: title + " — device reads / requested bytes",
+		Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"}}
+	wr := Table{ID: id + "b", Title: title + " — device writes / requested bytes",
+		Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"}}
+	for i, bs := range s.Opt.BlockSizes {
+		rd.Rows = append(rd.Rows, []string{bsLabel(bs),
+			f2(cells["3-Rep"][i].DevReadPerReq()), f2(cells["RS(6,3)"][i].DevReadPerReq()), f2(cells["RS(10,4)"][i].DevReadPerReq())})
+		wr.Rows = append(wr.Rows, []string{bsLabel(bs),
+			f2(cells["3-Rep"][i].DevWritePerReq()), f2(cells["RS(6,3)"][i].DevWritePerReq()), f2(cells["RS(10,4)"][i].DevWritePerReq())})
+	}
+	if !withWrites {
+		return []Table{rd}, nil
+	}
+	return []Table{rd, wr}, nil
+}
+
+func (s *Suite) readAmpFigure() ([]Table, error) {
+	var out []Table
+	for _, pat := range []workload.Pattern{workload.Sequential, workload.Random} {
+		cells, err := s.sweep(pat, workload.Read)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:      fmt.Sprintf("fig15%s", map[workload.Pattern]string{workload.Sequential: "a", workload.Random: "b"}[pat]),
+			Title:   fmt.Sprintf("Read volumes normalized to input, %s reads (paper Fig 15)", pat),
+			Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"},
+		}
+		for i, bs := range s.Opt.BlockSizes {
+			t.Rows = append(t.Rows, []string{bsLabel(bs),
+				f2(cells["3-Rep"][i].DevReadPerReq()), f2(cells["RS(6,3)"][i].DevReadPerReq()), f2(cells["RS(10,4)"][i].DevReadPerReq())})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (s *Suite) netFigure(id, title string, op workload.Op) ([]Table, error) {
+	var out []Table
+	for _, pat := range []workload.Pattern{workload.Sequential, workload.Random} {
+		cells, err := s.sweep(pat, op)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:      fmt.Sprintf("%s%s", id, map[workload.Pattern]string{workload.Sequential: "a", workload.Random: "b"}[pat]),
+			Title:   fmt.Sprintf("%s — %s (private bytes / requested bytes)", title, pat),
+			Columns: []string{"bs", "3-Rep", "RS(6,3)", "RS(10,4)"},
+		}
+		for i, bs := range s.Opt.BlockSizes {
+			t.Rows = append(t.Rows, []string{bsLabel(bs),
+				f2(cells["3-Rep"][i].NetPerReq()), f2(cells["RS(6,3)"][i].NetPerReq()), f2(cells["RS(10,4)"][i].NetPerReq())})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig1 computes the paper's summary chart: RS(10,4) normalized to 3-Rep for
+// 4 KB random requests across all six viewpoints.
+func (s *Suite) fig1() ([]Table, error) {
+	const bs = 4 << 10
+	get := func(sc Scheme, pat workload.Pattern, op workload.Op) (Cell, error) {
+		return s.Cell(sc, pat, op, bs)
+	}
+	rep, ec := Schemes()[0], Schemes()[2]
+	repR, err := get(rep, workload.Random, workload.Read)
+	if err != nil {
+		return nil, err
+	}
+	repW, err := get(rep, workload.Random, workload.Write)
+	if err != nil {
+		return nil, err
+	}
+	ecR, err := get(ec, workload.Random, workload.Read)
+	if err != nil {
+		return nil, err
+	}
+	ecW, err := get(ec, workload.Random, workload.Write)
+	if err != nil {
+		return nil, err
+	}
+	ratio := func(a, b float64) string {
+		if b == 0 {
+			return "inf"
+		}
+		return f2(a / b)
+	}
+	t := Table{
+		ID:      "fig1",
+		Title:   "RS(10,4) normalized to 3-Replication, 4KB random requests (paper Fig 1)",
+		Columns: []string{"metric", "read", "write", "paper read", "paper write"},
+		Rows: [][]string{
+			{"throughput", ratio(ecR.MBps, repR.MBps), ratio(ecW.MBps, repW.MBps), "0.67", "0.14"},
+			{"latency", ratio(ms(ecR.MeanLatency), ms(repR.MeanLatency)), ratio(ms(ecW.MeanLatency), ms(repW.MeanLatency)), "1.5", "7.6"},
+			{"CPU utilization", ratio(ecR.Metrics.UserCPU+ecR.Metrics.KernelCPU, repR.Metrics.UserCPU+repR.Metrics.KernelCPU),
+				ratio(ecW.Metrics.UserCPU+ecW.Metrics.KernelCPU, repW.Metrics.UserCPU+repW.Metrics.KernelCPU), "10.7", "1.9"},
+			{"context switches/MB", ratio(ecR.CtxPerMB(), repR.CtxPerMB()), ratio(ecW.CtxPerMB(), repW.CtxPerMB()), "12.6", "4.7-7.1"},
+			{"private network/req", ratio(ecR.NetPerReq(), repR.NetPerReq()), ratio(ecW.NetPerReq(), repW.NetPerReq()), ">>1 (rep ~0)", "37.8-74.7"},
+			{"I/O amplification", ratio(ecR.DevReadPerReq(), repR.DevReadPerReq()), ratio(ecW.DevWritePerReq(), repW.DevWritePerReq()), "10.4", "57.7"},
+		},
+		Notes: []string{"paper columns quote Fig 1 / §IV-§VI headline values"},
+	}
+	return []Table{t}, nil
+}
+
+// fig18 compares random/sequential throughput ratios of the cluster schemes
+// against a bare SSD (paper §VII-A placement-group parallelism).
+func (s *Suite) fig18() ([]Table, error) {
+	var out []Table
+	for _, op := range []workload.Op{workload.Read, workload.Write} {
+		seq, err := s.sweep(workload.Sequential, op)
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := s.sweep(workload.Random, op)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:      fmt.Sprintf("fig18%s", map[workload.Op]string{workload.Read: "a", workload.Write: "b"}[op]),
+			Title:   fmt.Sprintf("Random/sequential throughput ratio, %s (paper Fig 18)", op),
+			Columns: []string{"bs", "SSD", "3-Rep", "RS(6,3)", "RS(10,4)"},
+		}
+		for i, bs := range s.Opt.BlockSizes {
+			ssdSeq, err := s.BareSSD(workload.Sequential, op, bs)
+			if err != nil {
+				return nil, err
+			}
+			ssdRnd, err := s.BareSSD(workload.Random, op, bs)
+			if err != nil {
+				return nil, err
+			}
+			r := func(a, b Cell) string {
+				if b.MBps == 0 {
+					return "inf"
+				}
+				return f2(a.MBps / b.MBps)
+			}
+			t.Rows = append(t.Rows, []string{bsLabel(bs),
+				r(ssdRnd, ssdSeq),
+				r(rnd["3-Rep"][i], seq["3-Rep"][i]),
+				r(rnd["RS(6,3)"][i], seq["RS(6,3)"][i]),
+				r(rnd["RS(10,4)"][i], seq["RS(10,4)"][i])})
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig19 reproduces the 16 KB sequential-write time series showing EC's
+// periodic object-initialization stalls (paper §VII-B).
+func (s *Suite) fig19() ([]Table, error) {
+	const bs = 16 << 10
+	interval := time.Second
+	if s.Opt.Duration < 10*time.Second {
+		interval = s.Opt.Duration / 10
+	}
+	series := map[string][]workload.Sample{}
+	for _, sc := range []Scheme{Schemes()[0], Schemes()[1]} { // 3-Rep vs RS(6,3)
+		c, img, err := s.clusterFor(sc, 19)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workload.Run(c, img, workload.Job{
+			Name: "fig19-" + sc.Name, Op: workload.Write, Pattern: workload.Sequential,
+			BlockSize: bs, QueueDepth: s.Opt.QueueDepth, Duration: s.Opt.Duration,
+			Seed: s.Opt.Seed, SampleInterval: interval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Engine().Drain()
+		series[sc.Name] = res.Samples
+	}
+	t := Table{
+		ID:      "fig19",
+		Title:   "Sequential 16KB write time series — object management stalls (paper Fig 19)",
+		Columns: []string{"t(s)", "3-Rep MB/s", "RS(6,3) MB/s"},
+	}
+	n := len(series["3-Rep"])
+	if len(series["RS(6,3)"]) < n {
+		n = len(series["RS(6,3)"])
+	}
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, []string{
+			f1(series["3-Rep"][i].Second),
+			f1(series["3-Rep"][i].MBps),
+			f1(series["RS(6,3)"][i].MBps),
+		})
+	}
+	t.Notes = append(t.Notes, "RS(6,3) throughput dips when sequential writes cross into uninitialized objects")
+	return []Table{t}, nil
+}
+
+// fig20 reproduces the pristine-vs-overwrite random-write time series
+// (paper §VII-B): object initialization makes the pristine phase slower,
+// with lower CPU/context switches but far higher private network traffic.
+func (s *Suite) fig20() ([]Table, error) {
+	const bs = 4 << 10
+	sc := Schemes()[1] // RS(6,3)
+	interval := time.Second
+	if s.Opt.Duration < 10*time.Second {
+		interval = s.Opt.Duration / 10
+	}
+	run := func(prefill bool, salt int64) ([]workload.Sample, error) {
+		c, img, err := s.clusterFor(sc, 20+salt)
+		if err != nil {
+			return nil, err
+		}
+		if prefill {
+			img.Prefill() // "overwrites": objects already initialized
+		}
+		res, err := workload.Run(c, img, workload.Job{
+			Name: "fig20", Op: workload.Write, Pattern: workload.Random,
+			BlockSize: bs, QueueDepth: s.Opt.QueueDepth, Duration: s.Opt.Duration,
+			Seed: s.Opt.Seed, SampleInterval: interval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Engine().Drain()
+		return res.Samples, nil
+	}
+	pristine, err := run(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	over, err := run(true, 1)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(id, title string, samples []workload.Sample) Table {
+		t := Table{
+			ID:      id,
+			Title:   title,
+			Columns: []string{"t(s)", "MB/s", "ctx/s", "user%", "sys%", "privnet MB/s"},
+		}
+		for _, sm := range samples {
+			t.Rows = append(t.Rows, []string{
+				f1(sm.Second), f1(sm.MBps), fmt.Sprintf("%.0f", sm.CtxPerSec),
+				f2(sm.UserCPU * 100), f2(sm.KernelCPU * 100),
+				f2(sm.PrivateRx / (1 << 20)),
+			})
+		}
+		return t
+	}
+	return []Table{
+		mk("fig20a", "Random 4KB writes on pristine image (paper Fig 20 left)", pristine),
+		mk("fig20b", "Random 4KB overwrites (paper Fig 20 right)", over),
+	}, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,323 @@
+// Package bench reproduces the paper's evaluation: it runs the workload
+// sweeps behind every figure (Figs 1, 5-20), collects the same metrics the
+// authors report, and renders them as tables. The suite caches one run per
+// (scheme, pattern, op, block size) cell; all figure builders read from the
+// shared cells, mirroring how the paper derives its many views from the
+// same FIO campaigns.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/core"
+	"ecarray/internal/sim"
+	"ecarray/internal/ssd"
+	"ecarray/internal/workload"
+)
+
+// Scheme pairs a display name with a pool profile.
+type Scheme struct {
+	Name    string
+	Profile core.Profile
+}
+
+// Schemes are the paper's three fault-tolerance configurations.
+func Schemes() []Scheme {
+	return []Scheme{
+		{"3-Rep", core.ProfileReplicated(3)},
+		{"RS(6,3)", core.ProfileEC(6, 3)},
+		{"RS(10,4)", core.ProfileEC(10, 4)},
+	}
+}
+
+// Options scales the reproduction. The paper uses a 100 GB image, 60-ish
+// second runs and queue depth 256; scaled presets keep the coupon-collection
+// dynamics (object initialization vs. run length) proportional.
+type Options struct {
+	BlockSizes []int64
+	QueueDepth int
+	ImageSize  int64
+	PGs        int
+	Duration   time.Duration
+	Ramp       time.Duration // read runs only
+	Seed       int64
+	// DeviceCapacity overrides the per-OSD device size (0 = auto).
+	DeviceCapacity int64
+	// Cost optionally overrides the cost model (nil = default).
+	Cost *core.CostModel
+}
+
+// PaperBlockSizes is the paper's 1 KB..128 KB sweep.
+func PaperBlockSizes() []int64 {
+	return []int64{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+}
+
+// Quick returns options sized for fast iteration: a reduced block-size
+// sweep with the image-to-duration ratio tuned so write runs spend a
+// paper-like fraction of the window in the object-initialization phase.
+func Quick() Options {
+	return Options{
+		BlockSizes: []int64{4 << 10, 16 << 10, 64 << 10, 128 << 10},
+		QueueDepth: 256,
+		ImageSize:  4 << 30,
+		PGs:        512,
+		Duration:   1600 * time.Millisecond,
+		Ramp:       300 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Tiny returns the smallest meaningful options, for unit tests and
+// testing.B benchmark targets.
+func Tiny() Options {
+	return Options{
+		BlockSizes: []int64{4 << 10, 16 << 10},
+		QueueDepth: 128,
+		ImageSize:  1 << 30,
+		PGs:        256,
+		Duration:   500 * time.Millisecond,
+		Ramp:       100 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Paper returns options for full-fidelity runs (cmd/ecbench): longer
+// windows, larger image, the paper's full block-size sweep. The 24 GiB
+// image (6144 objects) against a 10 s window keeps the same
+// initialization-vs-steady-state balance as the paper's 100 GB / ~60 s
+// campaign.
+func Paper() Options {
+	return Options{
+		BlockSizes: PaperBlockSizes(),
+		QueueDepth: 256,
+		ImageSize:  24 << 30,
+		PGs:        1024,
+		Duration:   10 * time.Second,
+		Ramp:       time.Second,
+		Seed:       1,
+	}
+}
+
+func (o *Options) validate() error {
+	switch {
+	case len(o.BlockSizes) == 0:
+		return fmt.Errorf("bench: no block sizes")
+	case o.QueueDepth <= 0 || o.ImageSize <= 0 || o.PGs <= 0:
+		return fmt.Errorf("bench: invalid shape")
+	case o.Duration <= 0:
+		return fmt.Errorf("bench: invalid duration")
+	}
+	return nil
+}
+
+func (o *Options) deviceCapacity() int64 {
+	if o.DeviceCapacity > 0 {
+		return o.DeviceCapacity
+	}
+	per := o.ImageSize * 6 / 24 // worst case: EC fills every object's shards
+	if per < 2<<30 {
+		per = 2 << 30
+	}
+	return per
+}
+
+// Key identifies one suite cell.
+type Key struct {
+	Scheme  string
+	Pattern workload.Pattern
+	Op      workload.Op
+	BS      int64
+}
+
+// Cell is one run's outcome.
+type Cell struct {
+	workload.Result
+}
+
+// DevReadPerReq returns device reads normalized to requested bytes
+// (Figs 13a/14a/15).
+func (c Cell) DevReadPerReq() float64 {
+	if c.Bytes == 0 {
+		return 0
+	}
+	return float64(c.Metrics.DeviceReadBytes) / float64(c.Bytes)
+}
+
+// DevWritePerReq returns device writes normalized to requested bytes
+// (Figs 13b/14b).
+func (c Cell) DevWritePerReq() float64 {
+	if c.Bytes == 0 {
+		return 0
+	}
+	return float64(c.Metrics.DeviceWriteBytes) / float64(c.Bytes)
+}
+
+// NetPerReq returns private-network bytes normalized to requested bytes
+// (Figs 16-17).
+func (c Cell) NetPerReq() float64 {
+	if c.Bytes == 0 {
+		return 0
+	}
+	return float64(c.Metrics.PrivateBytes) / float64(c.Bytes)
+}
+
+// CtxPerMB returns context switches per MiB of data processed (Figs 11-12).
+func (c Cell) CtxPerMB() float64 {
+	if c.Bytes == 0 {
+		return 0
+	}
+	return float64(c.Metrics.ContextSwitches) / (float64(c.Bytes) / (1 << 20))
+}
+
+// FlashWritePerReq returns flash-level writes normalized to requested bytes
+// (§I SSD-lifetime discussion).
+func (c Cell) FlashWritePerReq() float64 {
+	if c.Bytes == 0 {
+		return 0
+	}
+	return float64(c.Metrics.FlashWriteBytes) / float64(c.Bytes)
+}
+
+// Suite runs and caches cells.
+type Suite struct {
+	Opt   Options
+	cells map[Key]Cell
+	ssd   map[Key]Cell // bare-SSD baseline cells (scheme "SSD")
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(opt Options) (*Suite, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}}, nil
+}
+
+// Cell runs (or returns the cached) cell for the key.
+func (s *Suite) Cell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	k := Key{scheme.Name, pattern, op, bs}
+	if c, ok := s.cells[k]; ok {
+		return c, nil
+	}
+	c, err := s.runCell(scheme, pattern, op, bs)
+	if err != nil {
+		return Cell{}, err
+	}
+	s.cells[k] = c
+	return c, nil
+}
+
+// clusterFor builds a fresh cluster+image for one cell run.
+func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.Image, error) {
+	cfg := core.DefaultConfig()
+	cfg.DeviceCapacity = s.Opt.deviceCapacity()
+	cfg.Device.Capacity = cfg.DeviceCapacity
+	cfg.PGsPerPool = s.Opt.PGs
+	cfg.Seed = s.Opt.Seed + seedSalt
+	if s.Opt.Cost != nil {
+		cfg.Cost = *s.Opt.Cost
+	}
+	e := sim.NewEngine()
+	c, err := core.New(e, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.CreatePool("data", scheme.Profile); err != nil {
+		return nil, nil, err
+	}
+	img, err := c.CreateImage("data", "bench", s.Opt.ImageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, img, nil
+}
+
+func (s *Suite) runCell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	c, img, err := s.clusterFor(scheme, bs)
+	if err != nil {
+		return Cell{}, err
+	}
+	job := workload.Job{
+		Name:       fmt.Sprintf("%s-%s-%s-%d", scheme.Name, pattern, op, bs),
+		Op:         op,
+		Pattern:    pattern,
+		BlockSize:  bs,
+		QueueDepth: s.Opt.QueueDepth,
+		Duration:   s.Opt.Duration,
+		Seed:       s.Opt.Seed,
+	}
+	if op == workload.Read {
+		// The paper pre-writes images before read measurements (§III).
+		img.Prefill()
+		job.Ramp = s.Opt.Ramp
+	}
+	res, err := workload.Run(c, img, job)
+	if err != nil {
+		return Cell{}, err
+	}
+	c.Engine().Drain()
+	return Cell{Result: res}, nil
+}
+
+// BareSSD runs (or returns cached) the Fig 18 baseline: the same pattern
+// directly against one simulated OSD device, no cluster software.
+func (s *Suite) BareSSD(pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	k := Key{"SSD", pattern, op, bs}
+	if c, ok := s.ssd[k]; ok {
+		return c, nil
+	}
+	c, err := s.runBareSSD(pattern, op, bs)
+	if err != nil {
+		return Cell{}, err
+	}
+	s.ssd[k] = c
+	return c, nil
+}
+
+func (s *Suite) runBareSSD(pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	e := sim.NewEngine()
+	capacity := int64(4 << 30)
+	dev, err := ssd.New(e, "bare", ssd.DefaultConfig(capacity))
+	if err != nil {
+		return Cell{}, err
+	}
+	span := capacity / 2
+	blocks := span / bs
+	rng := sim.NewRand(s.Opt.Seed)
+	end := sim.Time(s.Opt.Duration)
+	var ops, bytes int64
+	var cursor int64 // shared sequential cursor, as one FIO job
+	// Device-level queue depth: bounded by NCQ, as with FIO on a raw device.
+	for w := 0; w < 32; w++ {
+		e.Go(fmt.Sprintf("ssd/%d", w), func(p *sim.Proc) {
+			for p.Now() < end {
+				var off int64
+				if pattern == workload.Sequential {
+					off = (cursor % blocks) * bs
+					cursor++
+				} else {
+					off = rng.Int63n(blocks) * bs
+				}
+				if op == workload.Write {
+					dev.Write(p, off, nil, bs)
+				} else {
+					dev.Read(p, off, bs)
+				}
+				ops++
+				bytes += bs
+			}
+		})
+	}
+	e.RunUntil(end)
+	e.Drain()
+	res := workload.Result{
+		Job:   workload.Job{Op: op, Pattern: pattern, BlockSize: bs},
+		Ops:   ops,
+		Bytes: bytes,
+	}
+	secs := s.Opt.Duration.Seconds()
+	res.MBps = float64(bytes) / secs / (1 << 20)
+	res.IOPS = float64(ops) / secs
+	return Cell{Result: res}, nil
+}

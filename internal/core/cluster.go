@@ -1,0 +1,267 @@
+// Package core implements the distributed SSD-array storage cluster the
+// reproduced paper characterizes: a Ceph-like system with monitors (cluster
+// maps), placement groups, primary OSDs, a replicated backend and an
+// erasure-coded backend over a from-scratch Reed-Solomon codec, RBD-style
+// image striping, and the public/private network split of §II-A.
+//
+// Everything runs inside a deterministic discrete-event simulation
+// (internal/sim); CPU, network, SSD and object-store substrates charge
+// virtual time and maintain the counters behind every figure of the paper's
+// evaluation (throughput/latency, CPU utilization and context switches, I/O
+// amplification, private network traffic, and data-layout effects).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/crush"
+	"ecarray/internal/netsim"
+	"ecarray/internal/sim"
+	"ecarray/internal/ssd"
+	"ecarray/internal/store"
+)
+
+// ClientNode is the node name of the client host on the public network.
+const ClientNode = "client"
+
+// Node is one server: a name on the networks plus a core pool.
+type Node struct {
+	Name string
+	CPU  *CPU
+}
+
+// OSD is one object storage daemon bound to one device.
+type OSD struct {
+	ID      int
+	Node    *Node
+	Store   *store.Store
+	Workers *sim.Resource
+	up      bool
+}
+
+// Up reports whether the OSD is in service.
+func (o *OSD) Up() bool { return o.up }
+
+// Cluster is the assembled storage system.
+type Cluster struct {
+	cfg     Config
+	e       *sim.Engine
+	public  *netsim.Network
+	private *netsim.Network
+	client  *Node
+	nodes   []*Node
+	osds    []*OSD
+	cmap    *crush.Map
+	pools   map[string]*Pool
+	poolSeq int
+	stopped bool
+
+	imageQueue  *sim.Resource // client librbd dispatch serialization
+	metricsFrom sim.Time
+}
+
+// New builds a cluster per the config and starts its background daemons
+// (OSD heartbeats). The engine is owned by the caller; nothing runs until
+// the engine runs.
+func New(e *sim.Engine, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		e:          e,
+		pools:      map[string]*Pool{},
+		imageQueue: sim.NewResource(e, "client/librbd", 1),
+	}
+	c.public = netsim.New(e, cfg.Public)
+	c.private = netsim.New(e, cfg.Private)
+
+	c.client = &Node{Name: ClientNode, CPU: newCPU(e, ClientNode, cfg.ClientCores, &c.cfg.Cost)}
+	c.public.AddNode(ClientNode)
+
+	for n := 0; n < cfg.StorageNodes; n++ {
+		name := fmt.Sprintf("node%d", n)
+		node := &Node{Name: name, CPU: newCPU(e, name, cfg.CoresPerStorageNode, &c.cfg.Cost)}
+		c.nodes = append(c.nodes, node)
+		c.public.AddNode(name)
+		c.private.AddNode(name)
+	}
+	c.cmap = crush.Uniform(cfg.StorageNodes, cfg.OSDsPerNode)
+
+	devCfg := cfg.Device
+	devCfg.Capacity = cfg.DeviceCapacity
+	devCfg.CarryData = cfg.CarryData
+	for id := 0; id < cfg.StorageNodes*cfg.OSDsPerNode; id++ {
+		node := c.nodes[id/cfg.OSDsPerNode]
+		dev, err := ssd.New(e, fmt.Sprintf("osd%d/dev", id), devCfg)
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.New(e, dev, cfg.Store, cfg.CarryData)
+		if err != nil {
+			return nil, err
+		}
+		c.osds = append(c.osds, &OSD{
+			ID:      id,
+			Node:    node,
+			Store:   st,
+			Workers: sim.NewResource(e, fmt.Sprintf("osd%d/workers", id), cfg.OSDWorkers),
+			up:      true,
+		})
+	}
+	c.scheduleHeartbeat()
+	return c, nil
+}
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.e }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// OSDs returns the OSD daemons.
+func (c *Cluster) OSDs() []*OSD { return c.osds }
+
+// Nodes returns the storage nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Client returns the client node.
+func (c *Cluster) Client() *Node { return c.client }
+
+// PublicNetwork returns the client-facing network.
+func (c *Cluster) PublicNetwork() *netsim.Network { return c.public }
+
+// PrivateNetwork returns the storage-side network.
+func (c *Cluster) PrivateNetwork() *netsim.Network { return c.private }
+
+// Stop halts background daemons so a finished simulation can drain.
+func (c *Cluster) Stop() { c.stopped = true }
+
+// scheduleHeartbeat implements the §II-A OSD health checks: every interval,
+// each OSD pings its peers over the private network — the paper's ~20 KB/s
+// "almost zero" baseline of Figs 1 and 17.
+func (c *Cluster) scheduleHeartbeat() {
+	cm := &c.cfg.Cost
+	var tick func()
+	tick = func() {
+		if c.stopped {
+			return
+		}
+		for _, o := range c.osds {
+			if !o.up {
+				continue
+			}
+			osd := o
+			c.e.Go(fmt.Sprintf("hb/osd%d", osd.ID), func(p *sim.Proc) {
+				for _, peer := range c.osds {
+					if peer == osd || !peer.up || peer.Node == osd.Node {
+						continue
+					}
+					c.private.Send(p, osd.Node.Name, peer.Node.Name, cm.HeartbeatBytes)
+				}
+			})
+		}
+		c.e.Schedule(cm.HeartbeatInterval, tick)
+	}
+	c.e.Schedule(cm.HeartbeatInterval, tick)
+}
+
+// MarkOSDOut fails an OSD: it leaves placement and all PG acting sets.
+// Erasure-coded pools serve reads on such PGs by reconstruction.
+func (c *Cluster) MarkOSDOut(id int) {
+	c.osds[id].up = false
+	c.cmap.MarkOut(id)
+	for _, pl := range c.pools {
+		pl.osdOut(id)
+	}
+}
+
+// MarkOSDIn restores a failed OSD to placement. Shard contents are not
+// backfilled; restore only OSDs whose data is still valid (tests) or
+// re-create the pool.
+func (c *Cluster) MarkOSDIn(id int) {
+	c.osds[id].up = true
+	c.cmap.MarkIn(id)
+	for _, pl := range c.pools {
+		pl.osdIn(id)
+	}
+}
+
+// CreatePool creates a pool with the given fault-tolerance profile and maps
+// its placement groups through CRUSH.
+func (c *Cluster) CreatePool(name string, profile Profile) (*Pool, error) {
+	if _, dup := c.pools[name]; dup {
+		return nil, fmt.Errorf("core: pool %q exists", name)
+	}
+	if err := profile.validate(); err != nil {
+		return nil, err
+	}
+	if profile.Width() > len(c.osds) {
+		return nil, fmt.Errorf("core: profile %v needs %d OSDs, cluster has %d",
+			profile, profile.Width(), len(c.osds))
+	}
+	pl, err := newPool(c, c.poolSeq, name, profile)
+	if err != nil {
+		return nil, err
+	}
+	c.poolSeq++
+	c.pools[name] = pl
+	return pl, nil
+}
+
+// Pool returns a pool by name (nil if missing).
+func (c *Cluster) Pool(name string) *Pool { return c.pools[name] }
+
+// --- CPU/network cost helpers shared by the op paths ---
+
+// perKB scales a per-KiB cost to n bytes.
+func perKB(n int64, d time.Duration) time.Duration {
+	return time.Duration(n) * d / 1024
+}
+
+// execRecv charges message-reception cost on a node for a payload size.
+func (c *Cluster) execRecv(p *sim.Proc, n *Node, payload int64) {
+	cm := &c.cfg.Cost
+	n.CPU.Exec(p, cm.MsgRecvUser+perKB(payload, cm.MsgCopyPerKB), cm.MsgRecvKernel)
+}
+
+// execSend charges message-transmission cost on a node for a payload size.
+func (c *Cluster) execSend(p *sim.Proc, n *Node, payload int64) {
+	cm := &c.cfg.Cost
+	n.CPU.Exec(p, cm.MsgSendUser+perKB(payload, cm.MsgCopyPerKB), cm.MsgSendKernel)
+}
+
+// sendPrivate moves payload bytes between storage nodes, charging CPU at
+// both ends.
+func (c *Cluster) sendPrivate(p *sim.Proc, from, to *Node, payload int64) {
+	c.execSend(p, from, payload)
+	c.private.Send(p, from.Name, to.Name, payload)
+	c.execRecv(p, to, payload)
+}
+
+// sendPublicToPrimary moves payload from the client to a storage node.
+func (c *Cluster) sendPublicToPrimary(p *sim.Proc, to *Node, payload int64) {
+	cm := &c.cfg.Cost
+	c.client.CPU.Exec(p, cm.MsgSendUser+perKB(payload, cm.MsgCopyPerKB), cm.MsgSendKernel)
+	c.public.Send(p, ClientNode, to.Name, payload)
+	c.execRecv(p, to, payload)
+}
+
+// sendPublicToClient moves payload from a storage node to the client.
+func (c *Cluster) sendPublicToClient(p *sim.Proc, from *Node, payload int64) {
+	cm := &c.cfg.Cost
+	c.execSend(p, from, payload)
+	c.public.Send(p, from.Name, ClientNode, payload)
+	c.client.CPU.Exec(p, cm.MsgRecvUser+perKB(payload, cm.MsgCopyPerKB), cm.MsgRecvKernel)
+}
+
+// clientDispatch charges the serialized librbd image-queue section plus
+// client library CPU for one block-layer op.
+func (c *Cluster) clientDispatch(p *sim.Proc) {
+	cm := &c.cfg.Cost
+	c.imageQueue.Acquire(p, 1)
+	p.Sleep(cm.ClientDispatchSerial)
+	c.imageQueue.Release(1)
+	c.client.CPU.Exec(p, cm.ClientOpUser, 0)
+}

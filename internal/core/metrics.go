@@ -1,0 +1,103 @@
+package core
+
+// Metrics is a snapshot of every cluster-side quantity the paper's
+// evaluation reports, accumulated since the last ResetMetrics call. The CPU
+// and context-switch numbers cover the storage cluster's cores only (the
+// paper's 96 cores), matching §V's methodology of excluding the client.
+type Metrics struct {
+	// WindowSeconds is the measurement window length in simulated seconds.
+	WindowSeconds float64
+
+	// UserCPU and KernelCPU are average busy fractions of the storage
+	// cluster's cores (0..1), split by mode as in Figs 9-10.
+	UserCPU   float64
+	KernelCPU float64
+	// ContextSwitches across all storage nodes (Figs 11-12 divide by MB).
+	ContextSwitches int64
+
+	// Network byte counters (payload + framing), as in Figs 16-17.
+	PublicBytes     int64
+	PrivateBytes    int64
+	PrivateMessages int64
+
+	// Device-level (block) I/O summed over all OSDs: the quantities the
+	// paper measures with blktrace for Figs 13-15.
+	DeviceReadBytes  int64
+	DeviceWriteBytes int64
+	DeviceReadOps    int64
+	DeviceWriteOps   int64
+
+	// Flash-level traffic including FTL-internal work (GC, RMW): the SSD
+	// lifetime concern of §I.
+	FlashReadBytes  int64
+	FlashWriteBytes int64
+	GCMigratedPages int64
+	Erases          int64
+
+	// Object-store internals.
+	WALBytes    int64
+	MetaBytes   int64
+	RMWReads    int64
+	CacheHits   int64
+	CacheMisses int64
+	Objects     int64
+}
+
+// Metrics returns the counters accumulated since the last ResetMetrics.
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{
+		WindowSeconds:   (c.e.Now() - c.metricsFrom).Seconds(),
+		PublicBytes:     c.public.Bytes(),
+		PrivateBytes:    c.private.Bytes(),
+		PrivateMessages: c.private.Messages(),
+	}
+	var userSec, kernSec float64
+	for _, n := range c.nodes {
+		u, k := n.CPU.BusySeconds()
+		userSec += u
+		kernSec += k
+		m.ContextSwitches += n.CPU.ContextSwitches()
+	}
+	totalCores := float64(c.cfg.StorageNodes * c.cfg.CoresPerStorageNode)
+	if m.WindowSeconds > 0 {
+		m.UserCPU = userSec / (m.WindowSeconds * totalCores)
+		m.KernelCPU = kernSec / (m.WindowSeconds * totalCores)
+	}
+	for _, o := range c.osds {
+		ds := o.Store.Device().Stats()
+		m.DeviceReadBytes += ds.HostReadBytes
+		m.DeviceWriteBytes += ds.HostWriteBytes
+		m.DeviceReadOps += ds.HostReadOps
+		m.DeviceWriteOps += ds.HostWriteOps
+		m.FlashReadBytes += ds.FlashReadBytes
+		m.FlashWriteBytes += ds.FlashWriteBytes
+		m.GCMigratedPages += ds.GCMigratedPages
+		m.Erases += ds.Erases
+
+		ss := o.Store.Stats()
+		m.WALBytes += ss.WALBytes
+		m.MetaBytes += ss.MetaBytes
+		m.RMWReads += ss.RMWReads
+		m.CacheHits += ss.CacheHits
+		m.CacheMisses += ss.CacheMisses
+		m.Objects += int64(o.Store.Objects())
+	}
+	return m
+}
+
+// ResetMetrics starts a new measurement window: CPU accounting, network
+// counters and device/store counters are zeroed. Workloads call this after
+// their ramp-up phase, as FIO does.
+func (c *Cluster) ResetMetrics() {
+	c.metricsFrom = c.e.Now()
+	for _, n := range c.nodes {
+		n.CPU.ResetStats()
+	}
+	c.client.CPU.ResetStats()
+	c.public.ResetStats()
+	c.private.ResetStats()
+	for _, o := range c.osds {
+		o.Store.Device().ResetStats()
+		o.Store.ResetStats()
+	}
+}

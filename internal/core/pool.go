@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"ecarray/internal/rs"
+	"ecarray/internal/sim"
+)
+
+// Pool is a RADOS pool: a PG-sharded namespace with one fault-tolerance
+// profile. Objects hash to placement groups; CRUSH maps each PG to an
+// ordered OSD list whose head is the primary (§II-A).
+type Pool struct {
+	id      int
+	name    string
+	profile Profile
+	code    *rs.Code // nil for replicated pools
+	c       *Cluster
+	pgs     []*PG
+}
+
+// PG is a placement group: the unit of ordering, locking and placement.
+type PG struct {
+	id     int
+	shards []int // OSD id per shard position; -1 = missing (failed OSD)
+	lock   *sim.Resource
+
+	// objects tracks every object stored in the PG and its logical size,
+	// for recovery enumeration.
+	objects map[string]int64
+
+	// Erasure-coded pools track which objects have had their data and
+	// coding shards created/filled (§VII-B object management), and keep a
+	// small stripe cache at the primary that absorbs consecutive
+	// sequential reads of the same stripe (§IV-B RS-concatenation).
+	inited map[string]bool
+	scache *stripeCache
+}
+
+// noteObject records (or extends) an object in the PG's catalog.
+func (pg *PG) noteObject(obj string, end int64) {
+	if end > pg.objects[obj] {
+		pg.objects[obj] = end
+	}
+}
+
+func newPool(c *Cluster, id int, name string, profile Profile) (*Pool, error) {
+	pl := &Pool{id: id, name: name, profile: profile, c: c}
+	if profile.IsEC() {
+		code, err := rs.New(profile.K, profile.M)
+		if err != nil {
+			return nil, err
+		}
+		pl.code = code
+	}
+	width := profile.Width()
+	for pgid := 0; pgid < c.cfg.PGsPerPool; pgid++ {
+		seed := uint64(id)<<32 | uint64(pgid)
+		sel, err := c.cmap.Select(seed, width)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping pg %d.%d: %w", id, pgid, err)
+		}
+		pg := &PG{
+			id:      pgid,
+			shards:  sel,
+			lock:    sim.NewResource(c.e, fmt.Sprintf("pg/%d.%d", id, pgid), 1),
+			objects: map[string]int64{},
+		}
+		if profile.IsEC() {
+			pg.inited = map[string]bool{}
+			pg.scache = newStripeCache(c.cfg.StripeCacheStripes)
+		}
+		pl.pgs = append(pl.pgs, pg)
+	}
+	return pl, nil
+}
+
+// Name returns the pool name.
+func (pl *Pool) Name() string { return pl.name }
+
+// Profile returns the pool's fault-tolerance profile.
+func (pl *Pool) Profile() Profile { return pl.profile }
+
+// PGs returns the number of placement groups.
+func (pl *Pool) PGs() int { return len(pl.pgs) }
+
+// Code returns the pool's RS codec (nil for replicated pools).
+func (pl *Pool) Code() *rs.Code { return pl.code }
+
+// pgOf hashes an object name to its placement group, as libRADOS does with
+// object IDs (§II-A data path).
+func (pl *Pool) pgOf(obj string) *PG {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(obj); i++ {
+		h ^= uint64(obj[i])
+		h *= 1099511628211
+	}
+	return pl.pgs[h%uint64(len(pl.pgs))]
+}
+
+// PGFor exposes the PG id an object maps to (diagnostics, tests, ecctl).
+func (pl *Pool) PGFor(obj string) int { return pl.pgOf(obj).id }
+
+// ActingSet returns the live OSD ids of an object's PG in shard order
+// (missing shards omitted).
+func (pl *Pool) ActingSet(obj string) []int {
+	pg := pl.pgOf(obj)
+	var out []int
+	for _, osd := range pg.shards {
+		if osd >= 0 {
+			out = append(out, osd)
+		}
+	}
+	return out
+}
+
+func (pl *Pool) osdOut(id int) {
+	for _, pg := range pl.pgs {
+		for i, osd := range pg.shards {
+			if osd == id {
+				pg.shards[i] = -1
+			}
+		}
+		if pg.scache != nil {
+			pg.scache.clear()
+		}
+	}
+}
+
+func (pl *Pool) osdIn(id int) {
+	// Restore the OSD to the shard positions CRUSH originally assigned.
+	width := pl.profile.Width()
+	for pgid, pg := range pl.pgs {
+		seed := uint64(pl.id)<<32 | uint64(pgid)
+		sel, err := pl.c.cmap.Select(seed, width)
+		if err != nil {
+			continue
+		}
+		for i, osd := range sel {
+			if osd == id && pg.shards[i] == -1 {
+				pg.shards[i] = id
+			}
+		}
+	}
+}
+
+// primary returns the PG's acting primary: the first live shard.
+func (pg *PG) primary() (shardPos int, osd int) {
+	for i, o := range pg.shards {
+		if o >= 0 {
+			return i, o
+		}
+	}
+	return -1, -1
+}
+
+// liveShards counts live shard positions.
+func (pg *PG) liveShards() int {
+	n := 0
+	for _, o := range pg.shards {
+		if o >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- stripe cache ---
+
+type stripeKey struct {
+	obj    string
+	stripe int64
+}
+
+// stripeCache is a FIFO-evicting cache of decoded stripes held by the
+// primary. Entries optionally carry the stripe's data-chunk bytes (carry
+// mode).
+type stripeCache struct {
+	cap     int
+	entries map[stripeKey][][]byte
+	order   []stripeKey
+	hits    int64
+	misses  int64
+}
+
+func newStripeCache(cap int) *stripeCache {
+	return &stripeCache{cap: cap, entries: map[stripeKey][][]byte{}}
+}
+
+func (sc *stripeCache) get(k stripeKey) ([][]byte, bool) {
+	v, ok := sc.entries[k]
+	if ok {
+		sc.hits++
+	} else {
+		sc.misses++
+	}
+	return v, ok
+}
+
+func (sc *stripeCache) put(k stripeKey, chunks [][]byte) {
+	if sc.cap == 0 {
+		return
+	}
+	if _, ok := sc.entries[k]; !ok {
+		sc.order = append(sc.order, k)
+		for len(sc.order) > sc.cap {
+			evict := sc.order[0]
+			sc.order = sc.order[1:]
+			delete(sc.entries, evict)
+		}
+	}
+	sc.entries[k] = chunks
+}
+
+func (sc *stripeCache) drop(k stripeKey) { delete(sc.entries, k) }
+
+func (sc *stripeCache) clear() {
+	sc.entries = map[stripeKey][][]byte{}
+	sc.order = nil
+}
+
+// --- EC geometry ---
+
+// ecGeom captures the stripe arithmetic of §II-B: stripe width = k×n with
+// n = StripeUnit; an object of ObjectSize bytes holds ceil(ObjectSize/width)
+// stripes; shard objects hold one n-sized chunk per stripe.
+type ecGeom struct {
+	k, m        int
+	unit        int64 // n (4 KB in the paper)
+	stripeWidth int64 // k×n
+	stripes     int64 // stripes per object
+	shardSize   int64 // bytes per shard object
+}
+
+func (pl *Pool) geom() ecGeom {
+	k := int64(pl.profile.K)
+	unit := pl.c.cfg.StripeUnit
+	width := k * unit
+	stripes := (pl.c.cfg.ObjectSize + width - 1) / width
+	return ecGeom{
+		k:           pl.profile.K,
+		m:           pl.profile.M,
+		unit:        unit,
+		stripeWidth: width,
+		stripes:     stripes,
+		shardSize:   stripes * unit,
+	}
+}
+
+// stripeSpan returns the stripe index range [s0, s1) covering [off, off+len).
+func (g ecGeom) stripeSpan(off, length int64) (s0, s1 int64) {
+	return off / g.stripeWidth, (off + length + g.stripeWidth - 1) / g.stripeWidth
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecarray/internal/sim"
+)
+
+// RecoveryStats summarizes a repair pass: the §II-C costs the paper's
+// background motivates (a node repairing a chunk must pull k-1 remaining
+// chunks over the network — k× more traffic than the data repaired; the
+// Facebook cluster moves >100 TB/day for reconstruction).
+type RecoveryStats struct {
+	PGsRepaired       int
+	ObjectsRepaired   int
+	ShardsRebuilt     int
+	BytesRebuilt      int64 // shard bytes written to replacement OSDs
+	BytesPulled       int64 // shard bytes read from surviving OSDs
+	ReplicasCopied    int   // replicated-pool object copies restored
+	DurationSimulated time.Duration
+}
+
+// Recover rebuilds every missing shard/replica in the pool onto replacement
+// OSDs chosen by CRUSH from the surviving devices, running as simulation
+// process p. EC shards are reconstructed by pulling k surviving shards and
+// applying the recover matrix; replicated objects are copied from a
+// surviving replica. After a successful pass the pool serves reads without
+// degraded-path reconstruction.
+func (pl *Pool) Recover(p *sim.Proc) (RecoveryStats, error) {
+	start := p.Now()
+	var st RecoveryStats
+	for pgid, pg := range pl.pgs {
+		missing := missingPositions(pg)
+		if len(missing) == 0 {
+			continue
+		}
+		if err := pl.assignReplacements(pgid, pg, missing); err != nil {
+			return st, err
+		}
+		if pl.profile.IsEC() {
+			if err := pl.recoverECPG(p, pg, missing, &st); err != nil {
+				return st, err
+			}
+		} else {
+			if err := pl.recoverReplicatedPG(p, pg, missing, &st); err != nil {
+				return st, err
+			}
+		}
+		st.PGsRepaired++
+	}
+	st.DurationSimulated = time.Duration(p.Now() - start)
+	return st, nil
+}
+
+func missingPositions(pg *PG) []int {
+	var out []int
+	for i, osd := range pg.shards {
+		if osd < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// assignReplacements fills the missing shard positions with fresh OSDs from
+// CRUSH (which already excludes out devices), avoiding OSDs that still hold
+// other shards of the PG.
+func (pl *Pool) assignReplacements(pgid int, pg *PG, missing []int) error {
+	width := pl.profile.Width()
+	seed := uint64(pl.id)<<32 | uint64(pgid)
+	inUse := map[int]bool{}
+	for _, osd := range pg.shards {
+		if osd >= 0 {
+			inUse[osd] = true
+		}
+	}
+	// Ask CRUSH for a wider selection and take the first unused devices, so
+	// replacement choice stays deterministic and balanced.
+	want := width + len(missing)
+	if max := pl.c.cmap.Devices(); want > max {
+		want = max
+	}
+	sel, err := pl.c.cmap.Select(seed, want)
+	if err != nil {
+		return fmt.Errorf("core: recovery selection for pg %d.%d: %w", pl.id, pgid, err)
+	}
+	cand := make([]int, 0, len(sel))
+	for _, osd := range sel {
+		if !inUse[osd] {
+			cand = append(cand, osd)
+		}
+	}
+	if len(cand) < len(missing) {
+		return fmt.Errorf("core: pg %d.%d: not enough replacement OSDs", pl.id, pgid)
+	}
+	for i, pos := range missing {
+		pg.shards[pos] = cand[i]
+		inUse[cand[i]] = true
+	}
+	return nil
+}
+
+// recoverECPG rebuilds the missing shards of every object in an EC PG.
+func (pl *Pool) recoverECPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStats) error {
+	g := pl.geom()
+	cm := &pl.c.cfg.Cost
+	_, primID := pg.primary()
+	prim := pl.c.osds[primID]
+
+	for _, obj := range sortedObjects(pg) {
+		// Pull k surviving shards (positions other than the rebuilt ones).
+		srcs := make([]int, 0, g.k)
+		for pos := 0; pos < g.k+g.m && len(srcs) < g.k; pos++ {
+			if !contains(rebuilt, pos) {
+				srcs = append(srcs, pos)
+			}
+		}
+		if len(srcs) < g.k {
+			return fmt.Errorf("core: pg object %s beyond repair", obj)
+		}
+		results := make([][]byte, len(srcs))
+		pl.fetchShards(p, pg, prim, obj, srcs, 0, g.shardSize, results)
+		st.BytesPulled += int64(len(srcs)) * g.shardSize
+
+		// Reconstruct all missing shards (decode cost: one recover-matrix
+		// row of k coefficients per missing shard over the shard bytes).
+		prim.Node.CPU.Exec(p, perKB(int64(len(rebuilt))*g.shardSize*int64(g.k), cm.EncodePerKB), 0)
+		var shardBytes map[int][]byte
+		if pl.c.cfg.CarryData {
+			var err error
+			shardBytes, err = pl.rebuildShardBytes(obj, srcs, rebuilt, results, g)
+			if err != nil {
+				return err
+			}
+		}
+
+		// Push each rebuilt shard to its replacement OSD.
+		latch := sim.NewLatch(pl.c.e, len(rebuilt))
+		for _, pos := range rebuilt {
+			pos := pos
+			osd := pl.c.osds[pg.shards[pos]]
+			var payload []byte
+			if shardBytes != nil {
+				payload = shardBytes[pos]
+			}
+			pl.c.e.Go(fmt.Sprintf("recover/%s.%d", obj, pos), func(sp *sim.Proc) {
+				if osd == prim {
+					prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)
+					prim.Store.Write(sp, obj, 0, payload, g.shardSize)
+				} else {
+					pl.c.sendPrivate(sp, prim.Node, osd.Node, g.shardSize)
+					osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+					osd.Store.Write(sp, obj, 0, payload, g.shardSize)
+					pl.c.sendPrivate(sp, osd.Node, prim.Node, 0)
+				}
+				latch.Done()
+			})
+		}
+		latch.Wait(p)
+		st.ObjectsRepaired++
+		st.ShardsRebuilt += len(rebuilt)
+		st.BytesRebuilt += int64(len(rebuilt)) * g.shardSize
+	}
+	if pg.scache != nil {
+		pg.scache.clear()
+	}
+	return nil
+}
+
+// rebuildShardBytes reconstructs missing shard contents stripe by stripe.
+func (pl *Pool) rebuildShardBytes(obj string, srcs, rebuilt []int, results [][]byte, g ecGeom) (map[int][]byte, error) {
+	out := map[int][]byte{}
+	for _, pos := range rebuilt {
+		out[pos] = make([]byte, g.shardSize)
+	}
+	for s := int64(0); s < g.stripes; s++ {
+		shards := make([][]byte, g.k+g.m)
+		base := s * g.unit
+		for i, pos := range srcs {
+			if results[i] == nil {
+				return nil, fmt.Errorf("core: recovery fetch for %s shard %d empty", obj, pos)
+			}
+			shards[pos] = results[i][base : base+g.unit]
+		}
+		if err := pl.code.Reconstruct(shards); err != nil {
+			return nil, fmt.Errorf("core: recovery reconstruct %s stripe %d: %w", obj, s, err)
+		}
+		for _, pos := range rebuilt {
+			copy(out[pos][base:base+g.unit], shards[pos])
+		}
+	}
+	return out, nil
+}
+
+// recoverReplicatedPG restores full object copies onto replacement OSDs.
+// The copy source must be a surviving replica: replacements were assigned
+// into the shard list already but hold no data yet.
+func (pl *Pool) recoverReplicatedPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStats) error {
+	cm := &pl.c.cfg.Cost
+	source := -1
+	for pos, osd := range pg.shards {
+		if osd >= 0 && !contains(rebuilt, pos) {
+			source = osd
+			break
+		}
+	}
+	if source < 0 {
+		return fmt.Errorf("core: pg %d.%d has no surviving replicas", pl.id, pg.id)
+	}
+	prim := pl.c.osds[source]
+	for _, obj := range sortedObjects(pg) {
+		size := pg.objects[obj]
+		if size <= 0 {
+			continue
+		}
+		prim.Node.CPU.Exec(p, 0, cm.StoreSubmitKern)
+		data := prim.Store.Read(p, obj, 0, size)
+		st.BytesPulled += size
+		latch := sim.NewLatch(pl.c.e, len(rebuilt))
+		for _, pos := range rebuilt {
+			osd := pl.c.osds[pg.shards[pos]]
+			pl.c.e.Go(fmt.Sprintf("recover/%s", obj), func(sp *sim.Proc) {
+				pl.c.sendPrivate(sp, prim.Node, osd.Node, size)
+				osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+				osd.Store.Write(sp, obj, 0, data, size)
+				pl.c.sendPrivate(sp, osd.Node, prim.Node, 0)
+				latch.Done()
+			})
+		}
+		latch.Wait(p)
+		st.ObjectsRepaired++
+		st.ReplicasCopied += len(rebuilt)
+		st.BytesRebuilt += int64(len(rebuilt)) * size
+	}
+	return nil
+}
+
+func sortedObjects(pg *PG) []string {
+	out := make([]string, 0, len(pg.objects))
+	for obj := range pg.objects {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degraded reports how many PGs currently have missing shards.
+func (pl *Pool) Degraded() int {
+	n := 0
+	for _, pg := range pl.pgs {
+		if len(missingPositions(pg)) > 0 {
+			n++
+		}
+	}
+	return n
+}

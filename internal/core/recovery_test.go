@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ecarray/internal/sim"
+)
+
+func TestECRecoveryRestoresRedundancy(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(300_000, 55)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Fail two OSDs holding shards of the first object.
+	obj := img.ObjectName(0)
+	acting := pl.ActingSet(obj)
+	c.MarkOSDOut(acting[1])
+	c.MarkOSDOut(acting[4])
+	if pl.Degraded() == 0 {
+		t.Fatal("pool must be degraded after failures")
+	}
+
+	c.ResetMetrics()
+	var st RecoveryStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Recover(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if pl.Degraded() != 0 {
+		t.Fatal("pool still degraded after recovery")
+	}
+	if st.ShardsRebuilt == 0 || st.BytesRebuilt == 0 || st.PGsRepaired == 0 {
+		t.Fatalf("empty recovery stats: %+v", st)
+	}
+	// §II-C: repairing a shard pulls k shards' worth of data — repair
+	// traffic is a multiple of the bytes rebuilt.
+	if st.BytesPulled < 2*st.BytesRebuilt {
+		t.Fatalf("repair pulled %d bytes for %d rebuilt; expected k/missing multiple",
+			st.BytesPulled, st.BytesRebuilt)
+	}
+	// The repair moved real data over the private network.
+	if m := c.Metrics(); m.PrivateBytes < st.BytesRebuilt {
+		t.Fatalf("private traffic %d below rebuilt bytes %d", m.PrivateBytes, st.BytesRebuilt)
+	}
+
+	// After recovery the data must read back intact through the normal
+	// (non-degraded) path, including from the replacement shards.
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("post-recovery read mismatch")
+		}
+	})
+
+	// And survive further failures up to m again (redundancy restored).
+	obj0Acting := pl.ActingSet(obj)
+	for _, osd := range obj0Acting[:3] {
+		c.MarkOSDOut(osd)
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("read after post-recovery failures mismatch")
+		}
+	})
+}
+
+func TestReplicatedRecoveryCopiesObjects(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("data", ProfileReplicated(3))
+	img, _ := c.CreateImage("data", "img", 8<<20)
+	payload := pattern(200_000, 77)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	obj := img.ObjectName(0)
+	victim := pl.ActingSet(obj)[0] // fail the primary itself
+	c.MarkOSDOut(victim)
+
+	var st RecoveryStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Recover(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if pl.Degraded() != 0 {
+		t.Fatal("still degraded after replicated recovery")
+	}
+	if st.ReplicasCopied == 0 {
+		t.Fatalf("no replicas copied: %+v", st)
+	}
+	// All three acting OSDs must hold the object again.
+	for _, osdID := range pl.ActingSet(obj) {
+		if !c.OSDs()[osdID].Store.Exists(obj) {
+			t.Fatalf("osd %d missing restored replica", osdID)
+		}
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("post-recovery replicated read mismatch (%v)", err)
+		}
+	})
+}
+
+func TestRecoveryNoopOnHealthyPool(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(false))
+	pl, _ := c.CreatePool("ec", ProfileEC(4, 2))
+	runOp(t, e, c, func(p *sim.Proc) {
+		st, err := pl.Recover(p)
+		if err != nil {
+			t.Error(err)
+		}
+		if st.PGsRepaired != 0 || st.BytesRebuilt != 0 {
+			t.Errorf("healthy pool produced recovery work: %+v", st)
+		}
+	})
+}
+
+func TestRecoveryBeyondToleranceFails(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(false))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	obj := "doomed-object"
+	runOp(t, e, c, func(p *sim.Proc) {
+		pl.WriteObject(p, obj, 0, nil, 4096) //nolint:errcheck
+	})
+	for _, osd := range pl.ActingSet(obj)[:4] { // m+1 failures
+		c.MarkOSDOut(osd)
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		if _, err := pl.Recover(p); err == nil {
+			t.Error("recovery beyond m failures must error")
+		}
+	})
+}
+
+func TestRecoveryReplacementsAvoidFailedAndDuplicateOSDs(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(false))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	obj := "placement-check"
+	runOp(t, e, c, func(p *sim.Proc) {
+		pl.WriteObject(p, obj, 0, nil, 4096) //nolint:errcheck
+	})
+	victims := pl.ActingSet(obj)[:2]
+	for _, osd := range victims {
+		c.MarkOSDOut(osd)
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		if _, err := pl.Recover(p); err != nil {
+			t.Error(err)
+		}
+	})
+	set := pl.ActingSet(obj)
+	if len(set) != 9 {
+		t.Fatalf("acting set %v, want 9 live shards", set)
+	}
+	seen := map[int]bool{}
+	for _, osd := range set {
+		if seen[osd] {
+			t.Fatalf("duplicate OSD %d in recovered set %v", osd, set)
+		}
+		seen[osd] = true
+		for _, v := range victims {
+			if osd == v {
+				t.Fatalf("failed OSD %d reused in recovered set", osd)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package gf implements arithmetic over the finite field GF(2^8).
+//
+// Reed-Solomon coding as described in the reproduced paper (§II-C) computes
+// coding chunks by matrix-vector multiplication where every element operation
+// is carried out in a Galois field. This package provides the scalar field
+// operations and the bulk (slice) operations the codec hot path uses.
+//
+// The field is GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), the conventional choice for storage RS codes (Jerasure, ISA-L).
+// Multiplication uses log/exp tables built at package init; bulk operations
+// use a per-coefficient 256-entry product table so the inner loop is a single
+// table lookup and XOR per byte.
+package gf
+
+// Polynomial is the primitive polynomial used to construct the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	logTbl [Order]byte        // logTbl[x] = log_g(x); logTbl[0] unused
+	expTbl [2 * Order]byte    // expTbl[i] = g^i, doubled to skip a mod in Mul
+	invTbl [Order]byte        // invTbl[x] = x^-1; invTbl[0] unused
+	mulTbl [Order][Order]byte // mulTbl[a][b] = a*b
+)
+
+func init() {
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTbl[i] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	for i := Order - 1; i < 2*Order; i++ {
+		expTbl[i] = expTbl[i-(Order-1)]
+	}
+	for a := 1; a < Order; a++ {
+		invTbl[a] = expTbl[Order-1-int(logTbl[a])]
+	}
+	for a := 0; a < Order; a++ {
+		for b := 0; b < Order; b++ {
+			mulTbl[a][b] = mulSlow(byte(a), byte(b))
+		}
+	}
+}
+
+func mulSlow(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+int(logTbl[b])]
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so Sub
+// is the same operation.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8) (identical to Add).
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTbl[a][b] }
+
+// Div returns a/b in GF(2^8). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+Order-1-int(logTbl[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return invTbl[a]
+}
+
+// Exp returns g^n for the field generator g (= 2). Negative n is allowed.
+func Exp(n int) byte {
+	n %= Order - 1
+	if n < 0 {
+		n += Order - 1
+	}
+	return expTbl[n]
+}
+
+// Log returns log_g(a). It panics if a is zero.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(logTbl[a])
+}
+
+// Pow returns a^n in GF(2^8). a^0 == 1 for any a, including 0 by convention.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := int(logTbl[a]) * n % (Order - 1)
+	if l < 0 {
+		l += Order - 1
+	}
+	return expTbl[l]
+}
+
+// MulSlice sets dst[i] = c*src[i] for every i. dst and src must have the same
+// length; they may alias.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	tbl := &mulTbl[c]
+	for i, s := range src {
+		dst[i] = tbl[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c*src[i] for every i: the multiply-accumulate
+// kernel of RS encoding. dst and src must have the same length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	tbl := &mulTbl[c]
+	for i, s := range src {
+		dst[i] ^= tbl[s]
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for every i.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// MulTable returns the 256-entry product table for coefficient c. Callers
+// that apply the same coefficient to many buffers can hoist the lookup.
+func MulTable(c byte) *[256]byte { return &mulTbl[c] }

@@ -1,0 +1,158 @@
+// Package netsim simulates the cluster networks of the reproduced paper's
+// testbed: a 10 Gb "public" network between client and storage nodes and a
+// separate 10 Gb "private" (cluster) network between storage nodes (§II-A,
+// Fig 4). The private network carries replication copies, erasure-coding
+// chunks, RS-concatenation pulls and OSD heartbeats — the traffic Figs 16-17
+// quantify.
+//
+// Each node has one full-duplex NIC per network. A message serializes on the
+// sender's TX queue at link bandwidth, propagates with fixed latency, then
+// serializes on the receiver's RX queue, so both egress incast and ingress
+// incast (a primary OSD pulling k-1 chunks at once) contend realistically.
+// Messages between co-located endpoints take a loopback fast path and are
+// not counted as network traffic, matching the paper's observation that
+// intra-node chunk transfers never reach the wire.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/sim"
+	"ecarray/internal/stats"
+)
+
+// Config describes one network.
+type Config struct {
+	Name string
+	// Bandwidth is the per-NIC, per-direction link rate in bytes/second.
+	Bandwidth int64
+	// Latency is the one-way propagation + switching delay.
+	Latency time.Duration
+	// MsgOverhead is the per-message framing overhead in bytes (headers,
+	// acks) added to every transfer.
+	MsgOverhead int64
+	// LoopbackLatency is the delivery delay for same-node messages.
+	LoopbackLatency time.Duration
+}
+
+// TenGbE returns a 10 Gb Ethernet configuration like the paper's networks.
+func TenGbE(name string) Config {
+	return Config{
+		Name:            name,
+		Bandwidth:       1250 << 20, // 10 Gb/s ≈ 1250 MiB/s
+		Latency:         30 * time.Microsecond,
+		MsgOverhead:     256,
+		LoopbackLatency: 8 * time.Microsecond,
+	}
+}
+
+type nic struct {
+	tx *sim.Resource
+	rx *sim.Resource
+}
+
+// Network is a full-duplex star network (every node connected through a
+// non-blocking switch, bounded by per-NIC bandwidth).
+type Network struct {
+	cfg   Config
+	e     *sim.Engine
+	nodes map[string]*nic
+
+	bytes     stats.Counter // payload+overhead bytes crossing the wire
+	msgs      stats.Counter
+	loopBytes stats.Counter // same-node bytes (not network traffic)
+	series    *stats.Series // optional per-interval delivered-bytes series
+}
+
+// New creates a network with no nodes.
+func New(e *sim.Engine, cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	if cfg.Latency < 0 || cfg.MsgOverhead < 0 {
+		panic("netsim: negative latency or overhead")
+	}
+	return &Network{cfg: cfg, e: e, nodes: map[string]*nic{}}
+}
+
+// Name returns the network name ("public", "private").
+func (n *Network) Name() string { return n.cfg.Name }
+
+// AddNode attaches a node NIC. Adding the same name twice panics.
+func (n *Network) AddNode(name string) {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	n.nodes[name] = &nic{
+		tx: sim.NewResource(n.e, n.cfg.Name+"/"+name+"/tx", 1),
+		rx: sim.NewResource(n.e, n.cfg.Name+"/"+name+"/rx", 1),
+	}
+}
+
+// HasNode reports whether the node is attached.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.nodes[name]
+	return ok
+}
+
+// Send transfers payload bytes from one node to another, blocking the
+// calling process until the message is fully delivered. Same-node transfers
+// use the loopback path.
+func (n *Network) Send(p *sim.Proc, from, to string, payload int64) {
+	if payload < 0 {
+		panic("netsim: negative payload")
+	}
+	src, ok := n.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("netsim %s: unknown sender %q", n.cfg.Name, from))
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("netsim %s: unknown receiver %q", n.cfg.Name, to))
+	}
+	if from == to {
+		n.loopBytes.Add(payload)
+		p.Sleep(n.cfg.LoopbackLatency)
+		return
+	}
+	wire := payload + n.cfg.MsgOverhead
+	ser := time.Duration(wire * int64(time.Second) / n.cfg.Bandwidth)
+
+	src.tx.Acquire(p, 1)
+	p.Sleep(ser)
+	src.tx.Release(1)
+
+	p.Sleep(n.cfg.Latency)
+
+	dst.rx.Acquire(p, 1)
+	p.Sleep(ser)
+	dst.rx.Release(1)
+
+	n.bytes.Add(wire)
+	n.msgs.Inc()
+	if n.series != nil {
+		n.series.Add(n.e.Now().Duration(), float64(wire))
+	}
+}
+
+// Bytes returns total bytes delivered over the wire (payload + overhead),
+// excluding loopback.
+func (n *Network) Bytes() int64 { return n.bytes.Value() }
+
+// Messages returns total messages delivered over the wire.
+func (n *Network) Messages() int64 { return n.msgs.Value() }
+
+// LoopbackBytes returns total same-node bytes (never on the wire).
+func (n *Network) LoopbackBytes() int64 { return n.loopBytes.Value() }
+
+// AttachSeries begins accumulating delivered wire bytes into s (used for the
+// paper's Fig 20 private-network time series). Pass nil to detach.
+func (n *Network) AttachSeries(s *stats.Series) { n.series = s }
+
+// ResetStats zeroes the byte/message counters (attached series are kept).
+func (n *Network) ResetStats() {
+	n.bytes.Reset()
+	n.msgs.Reset()
+	n.loopBytes.Reset()
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ecarray/internal/sim"
+	"ecarray/internal/stats"
+)
+
+func testNet(e *sim.Engine) *Network {
+	n := New(e, Config{
+		Name:            "test",
+		Bandwidth:       1 << 30, // 1 GiB/s
+		Latency:         10 * time.Microsecond,
+		MsgOverhead:     0,
+		LoopbackLatency: time.Microsecond,
+	})
+	n.AddNode("a")
+	n.AddNode("b")
+	n.AddNode("c")
+	return n
+}
+
+func TestTransferTiming(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	var done sim.Time
+	e.Go("send", func(p *sim.Proc) {
+		n.Send(p, "a", "b", 1<<20) // 1 MiB at 1 GiB/s ≈ 0.976ms per hop
+		done = p.Now()
+	})
+	e.Run()
+	ser := time.Duration((1 << 20) * int64(time.Second) / (1 << 30))
+	want := sim.Time(2*ser + 10*time.Microsecond)
+	if done != want {
+		t.Fatalf("delivery at %v, want %v", done, want)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	e.Go("send", func(p *sim.Proc) {
+		n.Send(p, "a", "b", 1000)
+		n.Send(p, "b", "c", 500)
+	})
+	e.Run()
+	if n.Bytes() != 1500 || n.Messages() != 2 {
+		t.Fatalf("bytes=%d msgs=%d", n.Bytes(), n.Messages())
+	}
+	n.ResetStats()
+	if n.Bytes() != 0 || n.Messages() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestMsgOverheadCounted(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, Config{Name: "x", Bandwidth: 1 << 30, MsgOverhead: 100})
+	n.AddNode("a")
+	n.AddNode("b")
+	e.Go("send", func(p *sim.Proc) { n.Send(p, "a", "b", 1000) })
+	e.Run()
+	if n.Bytes() != 1100 {
+		t.Fatalf("bytes=%d, want 1100 (payload+overhead)", n.Bytes())
+	}
+}
+
+func TestLoopbackNotCounted(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	var done sim.Time
+	e.Go("send", func(p *sim.Proc) {
+		n.Send(p, "a", "a", 1<<20)
+		done = p.Now()
+	})
+	e.Run()
+	if n.Bytes() != 0 || n.Messages() != 0 {
+		t.Fatal("loopback must not count as network traffic")
+	}
+	if n.LoopbackBytes() != 1<<20 {
+		t.Fatalf("loopback bytes = %d", n.LoopbackBytes())
+	}
+	if done != sim.Time(time.Microsecond) {
+		t.Fatalf("loopback delivery at %v, want 1µs", done)
+	}
+}
+
+func TestSenderSerialization(t *testing.T) {
+	// Two concurrent sends from the same node must serialize on its TX link.
+	e := sim.NewEngine()
+	n := testNet(e)
+	var t1, t2 sim.Time
+	e.Go("s1", func(p *sim.Proc) { n.Send(p, "a", "b", 1<<20); t1 = p.Now() })
+	e.Go("s2", func(p *sim.Proc) { n.Send(p, "a", "c", 1<<20); t2 = p.Now() })
+	e.Run()
+	ser := sim.Time((1 << 20) * int64(time.Second) / (1 << 30))
+	if t2 < 3*ser {
+		t.Fatalf("second send finished at %v; TX serialization missing (ser=%v)", t2, ser)
+	}
+	if t1 >= t2 {
+		t.Fatalf("sends must complete in order: %v, %v", t1, t2)
+	}
+}
+
+func TestReceiverIncastContention(t *testing.T) {
+	// Two senders to one receiver: RX side must serialize (the EC
+	// RS-concatenation incast pattern).
+	e := sim.NewEngine()
+	n := testNet(e)
+	var done []sim.Time
+	for _, from := range []string{"a", "b"} {
+		from := from
+		e.Go(from, func(p *sim.Proc) {
+			n.Send(p, from, "c", 1<<20)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	ser := sim.Time((1 << 20) * int64(time.Second) / (1 << 30))
+	last := done[len(done)-1]
+	if last < 3*ser {
+		t.Fatalf("incast finished at %v, expected RX serialization ≥ %v", last, 3*ser)
+	}
+}
+
+func TestParallelDisjointPairsOverlap(t *testing.T) {
+	// a→b and c→... use disjoint NICs; they must overlap fully.
+	e := sim.NewEngine()
+	n := testNet(e)
+	n.AddNode("d")
+	for _, pair := range [][2]string{{"a", "b"}, {"c", "d"}} {
+		pair := pair
+		e.Go("s", func(p *sim.Proc) { n.Send(p, pair[0], pair[1], 1<<20) })
+	}
+	e.Run()
+	ser := sim.Time((1 << 20) * int64(time.Second) / (1 << 30))
+	want := 2*ser + sim.Time(10*time.Microsecond)
+	if e.Now() != want {
+		t.Fatalf("disjoint transfers took %v, want %v (full overlap)", e.Now(), want)
+	}
+}
+
+func TestAttachSeries(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	s := stats.NewSeries(time.Second)
+	n.AttachSeries(s)
+	e.Go("send", func(p *sim.Proc) { n.Send(p, "a", "b", 4096) })
+	e.Run()
+	if s.At(0) != 4096 {
+		t.Fatalf("series bucket = %v, want 4096", s.At(0))
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	e.Go("send", func(p *sim.Proc) { n.Send(p, "a", "zzz", 10) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown receiver must panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode must panic")
+		}
+	}()
+	n.AddNode("a")
+}
+
+func TestHasNode(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	if !n.HasNode("a") || n.HasNode("zzz") {
+		t.Fatal("HasNode wrong")
+	}
+}
+
+func TestTenGbEConfig(t *testing.T) {
+	cfg := TenGbE("public")
+	if cfg.Bandwidth != 1250<<20 || cfg.Name != "public" {
+		t.Fatalf("TenGbE = %+v", cfg)
+	}
+}
+
+func TestThroughputCeiling(t *testing.T) {
+	// Saturating one TX link: delivered rate must not exceed bandwidth.
+	e := sim.NewEngine()
+	n := testNet(e)
+	const msgs = 64
+	const size = 1 << 20
+	for i := 0; i < msgs; i++ {
+		e.Go("s", func(p *sim.Proc) { n.Send(p, "a", "b", size) })
+	}
+	e.Run()
+	elapsed := e.Now().Seconds()
+	rate := float64(n.Bytes()) / elapsed
+	if rate > float64(1<<30)*1.01 {
+		t.Fatalf("delivered %.0f B/s exceeds 1 GiB/s link", rate)
+	}
+}

@@ -1,0 +1,67 @@
+package paperref
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPointsCoverEveryFigure(t *testing.T) {
+	want := []string{
+		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20",
+	}
+	have := map[string]bool{}
+	for _, p := range Points() {
+		have[p.Figure] = true
+	}
+	for _, f := range want {
+		if !have[f] {
+			t.Errorf("no reference points for %s", f)
+		}
+	}
+}
+
+func TestPointsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Points() {
+		key := p.Figure + "/" + p.Metric
+		if seen[key] {
+			t.Errorf("duplicate point %s", key)
+		}
+		seen[key] = true
+		if p.Value <= 0 {
+			t.Errorf("%s: non-positive value %v", key, p.Value)
+		}
+		if p.Desc == "" {
+			t.Errorf("%s: missing description", key)
+		}
+	}
+	if len(seen) < 40 {
+		t.Fatalf("only %d reference points; expected a thorough catalog", len(seen))
+	}
+}
+
+func TestForFigureAndLookup(t *testing.T) {
+	pts := ForFigure("fig1")
+	if len(pts) != 7 {
+		t.Fatalf("fig1 points = %d, want 7", len(pts))
+	}
+	p, ok := Lookup("fig14", "ec_vs_rep_write_amp")
+	if !ok || p.Value != 55 {
+		t.Fatalf("Lookup failed: %+v %v", p, ok)
+	}
+	if _, ok := Lookup("fig99", "nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	p, _ := Lookup("fig1", "cpu_ratio")
+	s := Compare(p, 9.9)
+	for _, want := range []string{"fig1", "10.7", "9.9", "CPU"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Compare missing %q: %s", want, s)
+		}
+	}
+}

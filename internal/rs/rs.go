@@ -1,0 +1,303 @@
+// Package rs implements Reed-Solomon erasure coding over GF(2^8).
+//
+// This is the coding machinery the reproduced paper characterizes (§II-C):
+// RS(k,m) splits data into k data chunks, computes m coding (parity) chunks
+// via a systematic generator matrix derived from an extended Vandermonde
+// matrix, and can repair any ≤ m lost chunks by inverting the surviving rows
+// of the generator ("recover matrix") and multiplying with the remaining
+// chunks. RS codes are maximum distance separable: the storage overhead
+// (k+m)/k is optimal for the achieved fault tolerance.
+//
+// The two configurations the paper evaluates are RS(6,3) (Google Colossus)
+// and RS(10,4) (Facebook's HDFS-RAID/f4).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"ecarray/internal/gf"
+	"ecarray/internal/matrix"
+)
+
+// Common errors.
+var (
+	ErrTooFewShards    = errors.New("rs: too few shards to reconstruct")
+	ErrShardSize       = errors.New("rs: shards must be non-empty and equally sized")
+	ErrShardCount      = errors.New("rs: wrong number of shards")
+	ErrVerifyFailed    = errors.New("rs: parity verification failed")
+	ErrInvalidRSParams = errors.New("rs: k and m must be positive and k+m <= 256")
+)
+
+// Code is an RS(k,m) encoder/decoder. It is immutable after construction and
+// safe for concurrent use.
+type Code struct {
+	k, m int
+	gen  *matrix.Matrix // (k+m)×k systematic generator
+}
+
+// New constructs an RS(k,m) code. k is the number of data chunks, m the
+// number of coding chunks per stripe.
+func New(k, m int) (*Code, error) {
+	if k <= 0 || m <= 0 || k+m > gf.Order {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidRSParams, k, m)
+	}
+	return &Code{k: k, m: m, gen: matrix.Generator(k, m)}, nil
+}
+
+// MustNew is New, panicking on error. For the well-known static
+// configurations such as RS(6,3) and RS(10,4).
+func MustNew(k, m int) *Code {
+	c, err := New(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DataShards returns k.
+func (c *Code) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Code) ParityShards() int { return c.m }
+
+// TotalShards returns k+m.
+func (c *Code) TotalShards() int { return c.k + c.m }
+
+// StorageOverhead returns the space expansion factor (k+m)/k, e.g. 1.5 for
+// RS(6,3) versus 3.0 for triple replication.
+func (c *Code) StorageOverhead() float64 { return float64(c.k+c.m) / float64(c.k) }
+
+// Generator returns a copy of the systematic generator matrix.
+func (c *Code) Generator() *matrix.Matrix { return c.gen.Clone() }
+
+// String implements fmt.Stringer, e.g. "RS(6,3)".
+func (c *Code) String() string { return fmt.Sprintf("RS(%d,%d)", c.k, c.m) }
+
+func (c *Code) checkShards(shards [][]byte, allowNil bool) (size int, err error) {
+	if len(shards) != c.k+c.m {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size = -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, ErrShardSize
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return 0, ErrShardSize
+		}
+	}
+	if size < 0 {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// Encode computes the m parity shards from the k data shards. shards must
+// hold k+m equally sized slices: the first k contain data, the last m are
+// overwritten with parity.
+func (c *Code) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < c.m; p++ {
+		row := c.gen.Row(c.k + p)
+		out := shards[c.k+p]
+		gf.MulSlice(row[0], shards[0], out)
+		for d := 1; d < c.k; d++ {
+			gf.MulAddSlice(row[d], shards[d], out)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards. It returns an error on malformed input.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for p := 0; p < c.m; p++ {
+		row := c.gen.Row(c.k + p)
+		gf.MulSlice(row[0], shards[0], buf)
+		for d := 1; d < c.k; d++ {
+			gf.MulAddSlice(row[d], shards[d], buf)
+		}
+		for i := range buf {
+			if buf[i] != shards[c.k+p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every missing (nil) shard in place, data and parity
+// alike. At least k shards must be present. Present shards are never
+// modified. This is the paper's decoding operation: a recover matrix is
+// formed by inverting the generator rows of k surviving chunks and
+// multiplying it with those chunks (§II-C, Fig 3c).
+func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData rebuilds only the missing data shards, leaving missing
+// parity shards nil. This matches a degraded read, which does not need to
+// re-materialize parity.
+func (c *Code) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	present := make([]int, 0, c.k+c.m)
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) == c.k+c.m {
+		return nil
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewShards, len(present), c.k)
+	}
+
+	// Recover matrix: invert the k surviving generator rows (the rows that
+	// were used to compute the surviving chunks), per the paper's Fig 3c.
+	rows := present[:c.k]
+	sub := c.gen.SubMatrix(rows)
+	recover, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; guard anyway.
+		return fmt.Errorf("rs: recover matrix: %w", err)
+	}
+	src := make([][]byte, c.k)
+	for i, r := range rows {
+		src[i] = shards[r]
+	}
+
+	// Rebuild missing data shards: dataRow_i = recover.Row(i) × src.
+	var rebuiltData []int
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		mulRow(recover.Row(d), src, out)
+		shards[d] = out
+		rebuiltData = append(rebuiltData, d)
+	}
+	_ = rebuiltData
+	if dataOnly {
+		return nil
+	}
+	// Rebuild missing parity from the (now complete) data shards.
+	for p := 0; p < c.m; p++ {
+		if shards[c.k+p] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		mulRow(c.gen.Row(c.k+p), shards[:c.k], out)
+		shards[c.k+p] = out
+	}
+	return nil
+}
+
+// mulRow computes out = Σ coeffs[i] × src[i].
+func mulRow(coeffs []byte, src [][]byte, out []byte) {
+	first := true
+	for i, cf := range coeffs {
+		if cf == 0 {
+			continue
+		}
+		if first {
+			gf.MulSlice(cf, src[i], out)
+			first = false
+			continue
+		}
+		gf.MulAddSlice(cf, src[i], out)
+	}
+	if first {
+		clear(out)
+	}
+}
+
+// Split partitions data into k equally sized data shards plus m zeroed
+// parity shards, padding the final data shard with zeros. The original
+// length must be remembered to recover the exact payload with Join.
+func (c *Code) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrShardSize
+	}
+	per := (len(data) + c.k - 1) / c.k
+	shards := make([][]byte, c.k+c.m)
+	for i := range shards {
+		shards[i] = make([]byte, per)
+	}
+	for i := 0; i < c.k; i++ {
+		lo := i * per
+		if lo >= len(data) {
+			break
+		}
+		copy(shards[i], data[lo:min(lo+per, len(data))])
+	}
+	return shards, nil
+}
+
+// Join concatenates the k data shards and returns the first size bytes.
+func (c *Code) Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrShardCount
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.k && len(out) < size; i++ {
+		if shards[i] == nil {
+			return nil, ErrTooFewShards
+		}
+		out = append(out, shards[i]...)
+	}
+	if len(out) < size {
+		return nil, fmt.Errorf("rs: join: shards hold %d bytes, need %d", len(out), size)
+	}
+	return out[:size], nil
+}
+
+// UpdateParity incrementally updates the m parity shards after data shard
+// dataIdx changes from oldData to newData: parity_p ^= gen[k+p][dataIdx] ×
+// (old ^ new). This is the read-modify-write parity update path of a
+// sub-stripe overwrite (paper §V-B: "reading the underlying data chunks,
+// regenerating coding chunks and updating the corresponding stripe").
+func (c *Code) UpdateParity(dataIdx int, oldData, newData []byte, parity [][]byte) error {
+	if dataIdx < 0 || dataIdx >= c.k {
+		return fmt.Errorf("rs: UpdateParity: bad data index %d", dataIdx)
+	}
+	if len(parity) != c.m {
+		return ErrShardCount
+	}
+	if len(oldData) != len(newData) || len(oldData) == 0 {
+		return ErrShardSize
+	}
+	delta := make([]byte, len(oldData))
+	for i := range delta {
+		delta[i] = oldData[i] ^ newData[i]
+	}
+	for p := 0; p < c.m; p++ {
+		if len(parity[p]) != len(delta) {
+			return ErrShardSize
+		}
+		gf.MulAddSlice(c.gen.Row(c.k + p)[dataIdx], delta, parity[p])
+	}
+	return nil
+}

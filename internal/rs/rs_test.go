@@ -1,0 +1,403 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randShards(t testing.TB, c *Code, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.TotalShards())
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < c.DataShards() {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func cloneShards(shards [][]byte) [][]byte {
+	out := make([][]byte, len(shards))
+	for i, s := range shards {
+		if s != nil {
+			out[i] = append([]byte(nil), s...)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, km := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 100}} {
+		if _, err := New(km[0], km[1]); !errors.Is(err, ErrInvalidRSParams) {
+			t.Errorf("New(%d,%d) err = %v, want ErrInvalidRSParams", km[0], km[1], err)
+		}
+	}
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataShards() != 6 || c.ParityShards() != 3 || c.TotalShards() != 9 {
+		t.Fatal("shard count accessors wrong")
+	}
+	if c.String() != "RS(6,3)" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	// Paper §I: RS(6,3) has 1.5x storage overhead vs 3x for 3-replication.
+	if got := MustNew(6, 3).StorageOverhead(); got != 1.5 {
+		t.Fatalf("RS(6,3) overhead = %v, want 1.5", got)
+	}
+	if got := MustNew(10, 4).StorageOverhead(); got != 1.4 {
+		t.Fatalf("RS(10,4) overhead = %v, want 1.4", got)
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	for _, km := range [][2]int{{6, 3}, {10, 4}, {2, 1}, {4, 2}} {
+		c := MustNew(km[0], km[1])
+		shards := randShards(t, c, 4096, 42)
+		ok, err := c.Verify(shards)
+		if err != nil || !ok {
+			t.Fatalf("%v Verify = %v, %v; want true", c, ok, err)
+		}
+		// Corrupt one byte: verification must fail.
+		shards[0][17] ^= 0xff
+		ok, err = c.Verify(shards)
+		if err != nil || ok {
+			t.Fatalf("%v Verify after corruption = %v, %v; want false", c, ok, err)
+		}
+	}
+}
+
+func TestFirstParityIsXor(t *testing.T) {
+	// The generator's first coding row is all ones (paper Fig 3b), so parity
+	// shard 0 must equal the XOR of the data shards.
+	c := MustNew(6, 3)
+	shards := randShards(t, c, 512, 7)
+	xor := make([]byte, 512)
+	for d := 0; d < 6; d++ {
+		for i := range xor {
+			xor[i] ^= shards[d][i]
+		}
+	}
+	if !bytes.Equal(xor, shards[6]) {
+		t.Fatal("first parity shard is not the XOR of data shards")
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// Exhaustively erase every subset of size 1..m and reconstruct.
+	for _, km := range [][2]int{{6, 3}, {4, 2}} {
+		c := MustNew(km[0], km[1])
+		orig := randShards(t, c, 1024, 99)
+		n := c.TotalShards()
+		for mask := 1; mask < 1<<n; mask++ {
+			erased := 0
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					erased++
+				}
+			}
+			if erased > c.ParityShards() {
+				continue
+			}
+			work := cloneShards(orig)
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					work[b] = nil
+				}
+			}
+			if err := c.Reconstruct(work); err != nil {
+				t.Fatalf("%v mask %b: %v", c, mask, err)
+			}
+			for b := 0; b < n; b++ {
+				if !bytes.Equal(work[b], orig[b]) {
+					t.Fatalf("%v mask %b: shard %d mismatch", c, mask, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyErasures(t *testing.T) {
+	c := MustNew(6, 3)
+	shards := randShards(t, c, 256, 3)
+	for i := 0; i < 4; i++ {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructDataOnly(t *testing.T) {
+	c := MustNew(6, 3)
+	orig := randShards(t, c, 256, 5)
+	work := cloneShards(orig)
+	work[2] = nil
+	work[7] = nil // parity
+	if err := c.ReconstructData(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[2], orig[2]) {
+		t.Fatal("data shard not reconstructed")
+	}
+	if work[7] != nil {
+		t.Fatal("ReconstructData must leave parity shards nil")
+	}
+}
+
+func TestReconstructNoopWhenComplete(t *testing.T) {
+	c := MustNew(4, 2)
+	orig := randShards(t, c, 128, 11)
+	work := cloneShards(orig)
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range work {
+		if !bytes.Equal(work[i], orig[i]) {
+			t.Fatal("Reconstruct must not modify complete shards")
+		}
+	}
+}
+
+func TestReconstructPreservesPresentShards(t *testing.T) {
+	c := MustNew(6, 3)
+	orig := randShards(t, c, 256, 13)
+	work := cloneShards(orig)
+	work[0], work[8] = nil, nil
+	if err := c.Reconstruct(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		if !bytes.Equal(work[i], orig[i]) {
+			t.Fatalf("present shard %d modified", i)
+		}
+	}
+}
+
+func TestQuickRandomErasures(t *testing.T) {
+	// Property: for random data, random shard size and any random erasure set
+	// of size <= m, reconstruction recovers the original content exactly.
+	type cfg struct{ K, M uint8 }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(5)
+		c := MustNew(k, m)
+		size := 1 + rng.Intn(2048)
+		shards := make([][]byte, c.TotalShards())
+		for i := range shards {
+			shards[i] = make([]byte, size)
+			if i < k {
+				rng.Read(shards[i])
+			}
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		orig := cloneShards(shards)
+		erasures := rng.Intn(m + 1)
+		for i := 0; i < erasures; i++ {
+			shards[rng.Intn(k+m)] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		ok, err := c.Verify(shards)
+		return ok && err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	c := MustNew(6, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10000)
+		data := make([]byte, n)
+		rng.Read(data)
+		shards, err := c.Split(data)
+		if err != nil {
+			return false
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		out, err := c.Join(shards, n)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	c := MustNew(4, 2)
+	if _, err := c.Split(nil); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("Split(nil) err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c := MustNew(4, 2)
+	if _, err := c.Join([][]byte{{1}}, 1); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("short Join err = %v", err)
+	}
+	shards, _ := c.Split([]byte{1, 2, 3, 4})
+	shards[0] = nil
+	if _, err := c.Join(shards, 4); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("Join with nil data shard err = %v", err)
+	}
+	shards, _ = c.Split([]byte{1, 2, 3, 4})
+	if _, err := c.Join(shards, 100); err == nil {
+		t.Fatal("Join with oversized request must fail")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := MustNew(4, 2)
+	if err := c.Encode(make([][]byte, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("wrong shard count err = %v", err)
+	}
+	shards := [][]byte{{1}, {2}, {3}, {4}, {5, 6}, {7}}
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ragged shards err = %v", err)
+	}
+	shards = [][]byte{{1}, nil, {3}, {4}, {5}, {6}}
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("nil shard in Encode err = %v", err)
+	}
+}
+
+func TestUpdateParityMatchesFullEncode(t *testing.T) {
+	c := MustNew(6, 3)
+	shards := randShards(t, c, 512, 21)
+	rng := rand.New(rand.NewSource(22))
+	newData := make([]byte, 512)
+	rng.Read(newData)
+
+	// Incremental update of data shard 3.
+	parity := shards[6:]
+	if err := c.UpdateParity(3, shards[3], newData, parity); err != nil {
+		t.Fatal(err)
+	}
+	shards[3] = newData
+
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify after UpdateParity = %v, %v; want true", ok, err)
+	}
+}
+
+func TestUpdateParityValidation(t *testing.T) {
+	c := MustNew(4, 2)
+	shards := randShards(t, c, 64, 1)
+	if err := c.UpdateParity(9, shards[0], shards[0], shards[4:]); err == nil {
+		t.Fatal("bad index must error")
+	}
+	if err := c.UpdateParity(0, shards[0], shards[0][:10], shards[4:]); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("size mismatch err = %v", err)
+	}
+	if err := c.UpdateParity(0, shards[0], shards[0], shards[4:5]); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("parity count err = %v", err)
+	}
+}
+
+func TestGeneratorCopyIsIsolated(t *testing.T) {
+	c := MustNew(4, 2)
+	g := c.Generator()
+	g.Set(0, 0, 99)
+	shards := randShards(t, c, 64, 2)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatal("mutating the returned generator must not affect the code")
+	}
+}
+
+func TestPaperConfigsChunkMath(t *testing.T) {
+	// Paper §V: with 4KB chunks the stripe width of RS(6,3) is 24KB and of
+	// RS(10,4) is 40KB.
+	const chunk = 4096
+	if got := MustNew(6, 3).DataShards() * chunk; got != 24*1024 {
+		t.Fatalf("RS(6,3) stripe width = %d, want 24KB", got)
+	}
+	if got := MustNew(10, 4).DataShards() * chunk; got != 40*1024 {
+		t.Fatalf("RS(10,4) stripe width = %d, want 40KB", got)
+	}
+}
+
+func benchEncode(b *testing.B, k, m, size int) {
+	c := MustNew(k, m)
+	shards := make([][]byte, c.TotalShards())
+	rng := rand.New(rand.NewSource(1))
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	b.SetBytes(int64(k * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReconstruct(b *testing.B, k, m, size, erasures int) {
+	c := MustNew(k, m)
+	orig := make([][]byte, c.TotalShards())
+	rng := rand.New(rand.NewSource(1))
+	for i := range orig {
+		orig[i] = make([]byte, size)
+		if i < k {
+			rng.Read(orig[i])
+		}
+	}
+	if err := c.Encode(orig); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, len(orig))
+		copy(work, orig)
+		for e := 0; e < erasures; e++ {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Encoding throughput for the paper's two production configurations with the
+// 4KB chunk size Ceph uses.
+func BenchmarkEncodeRS6_3(b *testing.B)  { benchEncode(b, 6, 3, 4096) }
+func BenchmarkEncodeRS10_4(b *testing.B) { benchEncode(b, 10, 4, 4096) }
+
+// Repair cost, the paper's §II-C decoding discussion.
+func BenchmarkReconstructRS6_3(b *testing.B)  { benchReconstruct(b, 6, 3, 4096, 3) }
+func BenchmarkReconstructRS10_4(b *testing.B) { benchReconstruct(b, 10, 4, 4096, 4) }

@@ -1,0 +1,136 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming interface: encode an arbitrary-length stream into k+m shard
+// streams and reconstruct it back from any k of them. This is the shape a
+// downstream archival user consumes the codec through (the paper's
+// warm/cold-storage motivation), complementing the block-oriented API the
+// cluster uses.
+
+// ErrShortShard is returned when shard streams end before the recorded
+// payload size is recovered.
+var ErrShortShard = errors.New("rs: shard stream ended early")
+
+// StreamEncode reads src until EOF and writes k+m shard streams in
+// chunkSize pieces. Returns the total payload bytes consumed. The payload
+// size must be carried out of band (as object metadata would) and passed to
+// StreamDecode.
+func (c *Code) StreamEncode(src io.Reader, shards []io.Writer, chunkSize int) (int64, error) {
+	if len(shards) != c.k+c.m {
+		return 0, ErrShardCount
+	}
+	if chunkSize <= 0 {
+		return 0, fmt.Errorf("rs: chunk size must be positive")
+	}
+	bufs := make([][]byte, c.k+c.m)
+	for i := range bufs {
+		bufs[i] = make([]byte, chunkSize)
+	}
+	var total int64
+	for {
+		// Fill one stripe: k data chunks of chunkSize bytes.
+		stripeBytes := 0
+		for d := 0; d < c.k; d++ {
+			clear(bufs[d])
+			n, err := io.ReadFull(src, bufs[d])
+			stripeBytes += n
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if n == 0 && d == 0 && stripeBytes == 0 {
+					return total, nil // clean end on stripe boundary
+				}
+				// Zero-pad the remaining data chunks and finish the stripe.
+				for rest := d + 1; rest < c.k; rest++ {
+					clear(bufs[rest])
+				}
+				total += int64(stripeBytes)
+				if err := c.flushStripe(bufs, shards); err != nil {
+					return total, err
+				}
+				return total, nil
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		total += int64(stripeBytes)
+		if err := c.flushStripe(bufs, shards); err != nil {
+			return total, err
+		}
+	}
+}
+
+func (c *Code) flushStripe(bufs [][]byte, shards []io.Writer) error {
+	if err := c.Encode(bufs); err != nil {
+		return err
+	}
+	for i, w := range shards {
+		if _, err := w.Write(bufs[i]); err != nil {
+			return fmt.Errorf("rs: shard %d write: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StreamDecode reconstructs size payload bytes into dst from shard streams.
+// Exactly k+m readers must be passed, with nil entries for lost shards; at
+// least k must be non-nil. chunkSize must match the encoding call.
+func (c *Code) StreamDecode(dst io.Writer, shards []io.Reader, size int64, chunkSize int) error {
+	if len(shards) != c.k+c.m {
+		return ErrShardCount
+	}
+	if chunkSize <= 0 {
+		return fmt.Errorf("rs: chunk size must be positive")
+	}
+	present := 0
+	for _, r := range shards {
+		if r != nil {
+			present++
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: %d shard streams, need %d", ErrTooFewShards, present, c.k)
+	}
+	bufs := make([][]byte, c.k+c.m)
+	remaining := size
+	for remaining > 0 {
+		for i := range bufs {
+			bufs[i] = nil
+		}
+		got := 0
+		for i, r := range shards {
+			if r == nil {
+				continue
+			}
+			// Read this shard's chunk of the current stripe. Lost shards
+			// stay nil and are reconstructed below.
+			buf := make([]byte, chunkSize)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return fmt.Errorf("%w: shard %d: %v", ErrShortShard, i, err)
+			}
+			bufs[i] = buf
+			got++
+			if got == c.k {
+				break // k chunks suffice; skip extra reads
+			}
+		}
+		if err := c.ReconstructData(bufs); err != nil {
+			return err
+		}
+		for d := 0; d < c.k && remaining > 0; d++ {
+			n := int64(chunkSize)
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := dst.Write(bufs[d][:n]); err != nil {
+				return err
+			}
+			remaining -= n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func streamRoundTrip(t *testing.T, c *Code, payload []byte, chunk int, lost []int) []byte {
+	t.Helper()
+	writers := make([]io.Writer, c.TotalShards())
+	bufs := make([]*bytes.Buffer, c.TotalShards())
+	for i := range writers {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	n, err := c.StreamEncode(bytes.NewReader(payload), writers, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("encoded %d bytes, want %d", n, len(payload))
+	}
+	readers := make([]io.Reader, c.TotalShards())
+	for i := range readers {
+		readers[i] = bytes.NewReader(bufs[i].Bytes())
+	}
+	for _, l := range lost {
+		readers[l] = nil
+	}
+	var out bytes.Buffer
+	if err := c.StreamDecode(&out, readers, int64(len(payload)), chunk); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestStreamRoundTripExactStripe(t *testing.T) {
+	c := MustNew(4, 2)
+	payload := make([]byte, 4*512*3) // 3 full stripes at chunk 512
+	rand.New(rand.NewSource(1)).Read(payload)
+	got := streamRoundTrip(t, c, payload, 512, nil)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("full-stripe stream round trip failed")
+	}
+}
+
+func TestStreamRoundTripWithPadding(t *testing.T) {
+	c := MustNew(6, 3)
+	payload := make([]byte, 10_000) // not a stripe multiple
+	rand.New(rand.NewSource(2)).Read(payload)
+	got := streamRoundTrip(t, c, payload, 1024, nil)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("padded stream round trip failed")
+	}
+}
+
+func TestStreamDecodeWithErasures(t *testing.T) {
+	c := MustNew(6, 3)
+	payload := make([]byte, 50_000)
+	rand.New(rand.NewSource(3)).Read(payload)
+	got := streamRoundTrip(t, c, payload, 2048, []int{0, 3, 7}) // 2 data + 1 parity lost
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stream reconstruction with erasures failed")
+	}
+}
+
+func TestStreamTooManyErasures(t *testing.T) {
+	c := MustNew(4, 2)
+	readers := make([]io.Reader, 6)
+	readers[0] = bytes.NewReader(nil)
+	readers[1] = bytes.NewReader(nil)
+	readers[2] = bytes.NewReader(nil)
+	var out bytes.Buffer
+	if err := c.StreamDecode(&out, readers, 100, 512); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestStreamShortShard(t *testing.T) {
+	c := MustNew(4, 2)
+	readers := make([]io.Reader, 6)
+	for i := range readers {
+		readers[i] = bytes.NewReader([]byte{1, 2, 3}) // shorter than a chunk
+	}
+	var out bytes.Buffer
+	if err := c.StreamDecode(&out, readers, 4096, 512); !errors.Is(err, ErrShortShard) {
+		t.Fatalf("err = %v, want ErrShortShard", err)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	c := MustNew(4, 2)
+	if _, err := c.StreamEncode(bytes.NewReader([]byte{1}), make([]io.Writer, 2), 512); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("wrong writer count: %v", err)
+	}
+	ws := make([]io.Writer, 6)
+	for i := range ws {
+		ws[i] = &bytes.Buffer{}
+	}
+	if _, err := c.StreamEncode(bytes.NewReader([]byte{1}), ws, 0); err == nil {
+		t.Fatal("zero chunk size must fail")
+	}
+	if err := c.StreamDecode(&bytes.Buffer{}, make([]io.Reader, 1), 1, 512); !errors.Is(err, ErrShardCount) {
+		t.Fatal("wrong reader count must fail")
+	}
+	if err := c.StreamDecode(&bytes.Buffer{}, make([]io.Reader, 6), 1, 0); err == nil {
+		t.Fatal("zero chunk size decode must fail")
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	c := MustNew(4, 2)
+	ws := make([]io.Writer, 6)
+	bufs := make([]*bytes.Buffer, 6)
+	for i := range ws {
+		bufs[i] = &bytes.Buffer{}
+		ws[i] = bufs[i]
+	}
+	n, err := c.StreamEncode(bytes.NewReader(nil), ws, 512)
+	if err != nil || n != 0 {
+		t.Fatalf("empty encode: n=%d err=%v", n, err)
+	}
+	for i, b := range bufs {
+		if b.Len() != 0 {
+			t.Fatalf("shard %d received %d bytes for empty input", i, b.Len())
+		}
+	}
+}
+
+func TestStreamQuickProperty(t *testing.T) {
+	c := MustNew(5, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, 1+rng.Intn(20_000))
+		rng.Read(payload)
+		chunk := 256 << rng.Intn(3)
+		var lost []int
+		for _, l := range rng.Perm(7)[:rng.Intn(3)] {
+			lost = append(lost, l)
+		}
+		got := streamRoundTrip(t, c, payload, chunk, lost)
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStreamEncode(b *testing.B) {
+	c := MustNew(6, 3)
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(9)).Read(payload)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		ws := make([]io.Writer, 9)
+		for j := range ws {
+			ws[j] = io.Discard
+		}
+		if _, err := c.StreamEncode(bytes.NewReader(payload), ws, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

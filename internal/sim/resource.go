@@ -1,0 +1,228 @@
+package sim
+
+// Resource is a counted resource with a FIFO wait queue: a semaphore in
+// virtual time. A Resource with capacity 1 is a mutex (used for PG locks); a
+// Resource with capacity N models N servers (CPU cores, SSD queue slots).
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*waiter // FIFO
+
+	// Busy-time accounting for utilization reports.
+	busyArea  float64 // integral of inUse over time, in unit·ns
+	lastStamp Time
+
+	// Queueing statistics.
+	totalAcquires int64
+	totalWaits    int64 // acquires that had to queue
+}
+
+type waiter struct {
+	p       *Proc
+	n       int
+	granted bool
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{e: e, name: name, capacity: capacity, lastStamp: e.now}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquires returns the total number of Acquire calls granted so far.
+func (r *Resource) Acquires() int64 { return r.totalAcquires }
+
+// Waits returns how many acquisitions had to queue before being granted.
+func (r *Resource) Waits() int64 { return r.totalWaits }
+
+func (r *Resource) stamp() {
+	now := r.e.now
+	r.busyArea += float64(r.inUse) * float64(now-r.lastStamp)
+	r.lastStamp = now
+}
+
+// Acquire takes n units, blocking the process in FIFO order until they are
+// available. It panics if n exceeds the capacity (the request could never be
+// satisfied).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire count")
+	}
+	r.totalAcquires++
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.stamp()
+		r.inUse += n
+		return
+	}
+	r.totalWaits++
+	w := &waiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	// If the process is killed while queued or just after being granted
+	// (Engine.Drain), undo its claim so the resource stays balanced.
+	defer func() {
+		if rec := recover(); rec != nil {
+			if w.granted {
+				r.Release(n)
+			} else {
+				r.removeWaiter(w)
+			}
+			panic(rec)
+		}
+	}()
+	p.park()
+}
+
+func (r *Resource) removeWaiter(w *waiter) {
+	for i, q := range r.waiters {
+		if q == w {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// TryAcquire takes n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire count")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.totalAcquires++
+		r.stamp()
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes queued waiters in FIFO order. It may be
+// called from process or engine context.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic("sim: invalid release count")
+	}
+	r.stamp()
+	r.inUse -= n
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.stamp()
+		r.inUse += w.n
+		w.granted = true
+		r.e.wake(w.p)
+	}
+}
+
+// Utilization returns average inUse/capacity over [since, now]. The since
+// argument is typically the measurement-window start.
+func (r *Resource) Utilization(since Time) float64 {
+	r.stamp()
+	window := float64(r.e.now - since)
+	if window <= 0 {
+		return 0
+	}
+	return r.busyArea / window / float64(r.capacity)
+}
+
+// ResetStats zeroes the accumulated busy-time integral and counters, starting
+// a new measurement window at the current time.
+func (r *Resource) ResetStats() {
+	r.busyArea = 0
+	r.lastStamp = r.e.now
+	r.totalAcquires = 0
+	r.totalWaits = 0
+}
+
+// Latch is a countdown synchronizer: Wait blocks until Done has been called
+// count times. It is the join primitive for fan-out sub-operations (e.g. a
+// primary OSD waiting for replica or shard-write acknowledgements).
+type Latch struct {
+	e       *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewLatch creates a latch that opens after count Done calls. count zero
+// creates an already-open latch.
+func NewLatch(e *Engine, count int) *Latch {
+	if count < 0 {
+		panic("sim: negative latch count")
+	}
+	return &Latch{e: e, count: count}
+}
+
+// Done decrements the latch, waking all waiters when it reaches zero.
+// Calling Done on an open latch panics (it indicates a fan-in bug).
+func (l *Latch) Done() {
+	if l.count == 0 {
+		panic("sim: Done on open latch")
+	}
+	l.count--
+	if l.count == 0 {
+		for _, p := range l.waiters {
+			l.e.wake(p)
+		}
+		l.waiters = nil
+	}
+}
+
+// Open reports whether the latch has reached zero.
+func (l *Latch) Open() bool { return l.count == 0 }
+
+// Wait blocks the process until the latch opens.
+func (l *Latch) Wait(p *Proc) {
+	if l.count == 0 {
+		return
+	}
+	l.waiters = append(l.waiters, p)
+	p.park()
+}
+
+// Signal is a one-shot broadcast event: Wait blocks until Fire is called.
+// Fire is idempotent.
+type Signal struct {
+	e       *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire opens the signal and wakes all waiters. Repeat calls are no-ops.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		s.e.wake(p)
+	}
+	s.waiters = nil
+}
+
+// Wait blocks the process until the signal fires (returns immediately if it
+// already has).
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}

@@ -1,0 +1,310 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The reproduced paper measures a 4-node, 96-core, 52-SSD Ceph cluster; this
+// repository replaces that hardware with simulation. The engine advances a
+// virtual clock through a time-ordered event heap and runs simulation
+// processes as goroutines with a strict engine⇄process handoff: exactly one
+// goroutine (the engine or a single process) is ever runnable, so runs are
+// bit-for-bit deterministic for a given seed and independent of GOMAXPROCS.
+//
+// Processes block on virtual time (Sleep), on counted resources (Resource),
+// and on synchronization primitives (Latch, Signal). Model components such as
+// CPUs, NICs, SSDs and PG locks are built from these primitives in the other
+// internal packages.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts the time to a time.Duration offset from zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for use from
+// multiple goroutines; all interaction must come from the goroutine that
+// calls Run/RunUntil or from processes spawned with Go.
+type Engine struct {
+	now     Time
+	seq     uint64
+	procSeq uint64
+	events  eventHeap
+	yield   chan struct{}
+	live    map[*Proc]uint64 // live process -> spawn order
+	fatal   any
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  map[*Proc]uint64{},
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at the current time plus delay. fn executes in engine
+// context: it must not block (use Go for blocking work).
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.scheduleAt(e.now+Time(delay), fn)
+}
+
+func (e *Engine) scheduleAt(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Live returns the number of live (spawned, unfinished) processes.
+func (e *Engine) Live() int { return len(e.live) }
+
+// Run executes events until none remain. It panics if a process panicked.
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		e.step()
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then sets the clock
+// to t. Events after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].t <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d, executing everything due in the window.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + Time(d)) }
+
+// RunProc spawns fn as a process and steps the engine until it finishes,
+// leaving any unrelated queued events (periodic daemons) in place. It panics
+// if the event queue drains before the process completes (the process
+// blocked forever).
+func (e *Engine) RunProc(name string, fn func(p *Proc)) {
+	done := false
+	e.Go(name, func(p *Proc) {
+		defer func() { done = true }()
+		fn(p)
+	})
+	for !done && len(e.events) > 0 {
+		e.step()
+	}
+	if !done {
+		panic(fmt.Sprintf("sim: RunProc %q blocked forever", name))
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(event)
+	if ev.t < e.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.t))
+	}
+	e.now = ev.t
+	ev.fn()
+	if e.fatal != nil {
+		panic(e.fatal)
+	}
+}
+
+// Drain kills every live process so their goroutines exit, then runs
+// remaining events. Call it when a run ends before all processes naturally
+// complete (e.g. a fixed-duration workload with requests still in flight).
+// Determinism after Drain is not guaranteed; use it only after measurements
+// are collected.
+func (e *Engine) Drain() {
+	for len(e.live) > 0 {
+		ps := e.liveProcs()
+		progress := false
+		for _, p := range ps {
+			if _, ok := e.live[p]; !ok {
+				continue
+			}
+			p.killed = true
+			if p.parked {
+				progress = true
+				e.switchTo(p)
+			}
+		}
+		// Processes whose start events have not fired yet exit as soon as
+		// those events run (they observe the kill flag on startup). Killed
+		// processes may also have released resources in deferred cleanup,
+		// scheduling wakeups for other parked processes; run it all down.
+		for len(e.events) > 0 && len(e.live) > 0 {
+			progress = true
+			e.step()
+		}
+		if !progress {
+			panic("sim: Drain cannot make progress")
+		}
+	}
+}
+
+func (e *Engine) liveProcs() []*Proc {
+	ps := make([]*Proc, 0, len(e.live))
+	for p := range e.live {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return e.live[ps[i]] < e.live[ps[j]] })
+	return ps
+}
+
+// wake schedules a resume of p at the current time. The wakeup is dropped if
+// p has been resumed by someone else in the meantime (generation guard), so
+// multiple wakers cannot double-resume a process.
+func (e *Engine) wake(p *Proc) {
+	gen := p.parkGen
+	e.scheduleAt(e.now, func() {
+		if p.dead || !p.parked || p.parkGen != gen {
+			return
+		}
+		e.switchTo(p)
+	})
+}
+
+func (e *Engine) switchTo(p *Proc) {
+	p.parked = false
+	p.parkGen++
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Proc is a simulation process: a goroutine interleaved with the engine.
+type Proc struct {
+	e       *Engine
+	name    string
+	resume  chan struct{}
+	parked  bool
+	parkGen uint64
+	killed  bool
+	dead    bool
+}
+
+type procKilled struct{}
+
+// Go spawns a process. fn runs on its own goroutine, starting at the current
+// virtual time, and may block with Sleep/Acquire/Wait. When fn returns the
+// process ends.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procSeq++
+	e.live[p] = e.procSeq
+	e.scheduleAt(e.now, func() {
+		go func() {
+			<-p.resume
+			defer func() {
+				p.dead = true
+				delete(e.live, p)
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						e.fatal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+					}
+				}
+				e.yield <- struct{}{}
+			}()
+			if p.killed {
+				panic(procKilled{})
+			}
+			fn(p)
+		}()
+		e.switchTo(p)
+	})
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park suspends the process until something calls Engine.switchTo(p),
+// normally via Engine.wake. The caller must already have arranged a wakeup.
+func (p *Proc) park() {
+	p.parked = true
+	p.e.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time. Sleep(0) is a no-op.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	e := p.e
+	gen := p.parkGen
+	e.scheduleAt(e.now+Time(d), func() {
+		if p.dead || !p.parked || p.parkGen != gen {
+			return
+		}
+		e.switchTo(p)
+	})
+	p.park()
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if t has
+// passed).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.e.now {
+		return
+	}
+	p.Sleep(time.Duration(t - p.e.now))
+}
+
+// NewRand returns a deterministic random source for model components.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

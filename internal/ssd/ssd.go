@@ -1,0 +1,526 @@
+// Package ssd simulates a flash solid-state drive with a page-mapped flash
+// translation layer (FTL).
+//
+// The reproduced paper attributes several cluster-level effects to intrinsic
+// SSD behaviour (§I, §VII-A): flash pages cannot be overwritten in place, so
+// the FTL redirects writes to pre-erased blocks and garbage-collects stale
+// pages, amplifying the data actually written to flash; sequential reads
+// benefit from read-ahead; sub-page writes force internal read-modify-write.
+// This model reproduces those mechanisms so the bare-SSD baseline of Fig 18
+// and the flash-lifetime discussion of §I have a concrete substrate.
+//
+// The device exposes host-level Read/Write/Trim in virtual time (requests
+// queue on an NCQ-like resource and are serviced with a latency+bandwidth
+// cost model) and tracks both host-level and flash-level byte counters.
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/sim"
+	"ecarray/internal/stats"
+)
+
+const unmapped = ^uint32(0)
+
+// Config describes the simulated device.
+type Config struct {
+	// Capacity is the logical (host-visible) size in bytes. It must be a
+	// multiple of the block size (PageSize*PagesPerBlock).
+	Capacity int64
+	// PageSize is the flash page size; host I/O is remapped at this
+	// granularity. Typically 4096.
+	PageSize int
+	// PagesPerBlock is the number of pages per erase block.
+	PagesPerBlock int
+	// OverProvision is the fraction of extra physical capacity (e.g. 0.12).
+	OverProvision float64
+	// GCLowWater is the fraction of free physical blocks below which garbage
+	// collection runs (e.g. 0.05).
+	GCLowWater float64
+	// QueueDepth is the number of in-flight commands the device accepts
+	// (NCQ-style); further commands queue in FIFO order.
+	QueueDepth int
+
+	// ReadBase/WriteBase are fixed per-command latencies; ReadBandwidth and
+	// WriteBandwidth (bytes/second) model bus+array streaming throughput.
+	ReadBase       time.Duration
+	WriteBase      time.Duration
+	ReadBandwidth  int64
+	WriteBandwidth int64
+	// ProgramPage is the flash program time charged to GC page migration.
+	ProgramPage time.Duration
+	// EraseBlock is the flash erase time charged when GC recycles a block.
+	EraseBlock time.Duration
+	// SeqReadFactor scales the fixed read latency for reads that continue a
+	// detected sequential stream (read-ahead hit); 1 disables the effect.
+	SeqReadFactor float64
+
+	// CarryData stores and returns real page contents. Use only for small
+	// functional tests; benchmark sweeps run size-only.
+	CarryData bool
+}
+
+// DefaultConfig models one OSD device of the paper's testbed: two Intel SSD
+// 730s behind a RAID-0 hardware controller (≈1.1 GB/s read, ≈0.9 GB/s
+// write, SATA-era latencies).
+func DefaultConfig(capacity int64) Config {
+	return Config{
+		Capacity:       capacity,
+		PageSize:       4096,
+		PagesPerBlock:  256,
+		OverProvision:  0.12,
+		GCLowWater:     0.05,
+		QueueDepth:     16,
+		ReadBase:       95 * time.Microsecond,
+		WriteBase:      35 * time.Microsecond,
+		ReadBandwidth:  1100 << 20, // ~1.1 GB/s
+		WriteBandwidth: 900 << 20,  // ~0.9 GB/s
+		ProgramPage:    60 * time.Microsecond,
+		EraseBlock:     2 * time.Millisecond,
+		SeqReadFactor:  0.30,
+		CarryData:      false,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.PageSize <= 0 || c.PagesPerBlock <= 0 {
+		return fmt.Errorf("ssd: invalid geometry page=%d pages/block=%d", c.PageSize, c.PagesPerBlock)
+	}
+	blockBytes := int64(c.PageSize) * int64(c.PagesPerBlock)
+	if c.Capacity <= 0 || c.Capacity%blockBytes != 0 {
+		return fmt.Errorf("ssd: capacity %d must be a positive multiple of block size %d", c.Capacity, blockBytes)
+	}
+	if c.OverProvision <= 0 {
+		return fmt.Errorf("ssd: over-provisioning must be positive")
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("ssd: queue depth must be positive")
+	}
+	if c.SeqReadFactor <= 0 || c.SeqReadFactor > 1 {
+		return fmt.Errorf("ssd: SeqReadFactor must be in (0,1]")
+	}
+	if c.ReadBandwidth <= 0 || c.WriteBandwidth <= 0 {
+		return fmt.Errorf("ssd: bandwidths must be positive")
+	}
+	return nil
+}
+
+type block struct {
+	p2l        []uint32 // physical page slot -> logical page (unmapped if free/stale)
+	written    int      // pages programmed so far
+	valid      int      // pages still mapped
+	eraseCount int64
+}
+
+// Stats aggregates device counters. Host counters measure the block-level
+// I/O arriving at the device (the quantity the paper's Figs 13-15 report);
+// flash counters additionally include FTL-internal traffic (GC migrations,
+// sub-page RMW), i.e. the media wear discussed in §I.
+type Stats struct {
+	HostReadBytes   int64
+	HostWriteBytes  int64
+	HostReadOps     int64
+	HostWriteOps    int64
+	FlashReadBytes  int64
+	FlashWriteBytes int64
+	GCMigratedPages int64
+	Erases          int64
+	TrimmedBytes    int64
+}
+
+// WriteAmplification returns flash writes / host writes (0 if nothing
+// written).
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWriteBytes == 0 {
+		return 0
+	}
+	return float64(s.FlashWriteBytes) / float64(s.HostWriteBytes)
+}
+
+// Device is one simulated SSD (or RAID-0 pair presented as a single OSD
+// device, as in the paper's testbed).
+type Device struct {
+	cfg    Config
+	e      *sim.Engine
+	name   string
+	queue  *sim.Resource
+	blocks []*block
+	l2p    []uint32 // logical page -> physical page id
+	free   []int    // free block indexes (LIFO)
+	active int      // block currently being filled
+	data   map[int64][]byte
+
+	lastReadEnd  int64 // sequential-read detector
+	lastWriteEnd int64 // sequential-write detector (write-buffer merge)
+
+	st        Stats
+	busy      *stats.Counter // busy time integral, ns
+	lastStamp sim.Time
+
+	tracer func(op byte, off, length int64)
+}
+
+// New creates a device. The name is used in diagnostics and traces.
+func New(e *sim.Engine, name string, cfg Config) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	logicalPages := cfg.Capacity / int64(cfg.PageSize)
+	physBlocks := int(float64(logicalPages)*(1+cfg.OverProvision))/cfg.PagesPerBlock + 2
+	d := &Device{
+		cfg:    cfg,
+		e:      e,
+		name:   name,
+		queue:  sim.NewResource(e, name+"/queue", cfg.QueueDepth),
+		blocks: make([]*block, physBlocks),
+		l2p:    make([]uint32, logicalPages),
+		busy:   &stats.Counter{},
+	}
+	for i := range d.l2p {
+		d.l2p[i] = unmapped
+	}
+	for i := range d.blocks {
+		d.blocks[i] = &block{p2l: make([]uint32, cfg.PagesPerBlock)}
+		for j := range d.blocks[i].p2l {
+			d.blocks[i].p2l[j] = unmapped
+		}
+	}
+	for i := physBlocks - 1; i >= 1; i-- {
+		d.free = append(d.free, i)
+	}
+	d.active = 0
+	if cfg.CarryData {
+		d.data = map[int64][]byte{}
+	}
+	d.lastReadEnd = -1
+	d.lastWriteEnd = -1
+	return d, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Capacity returns the logical capacity in bytes.
+func (d *Device) Capacity() int64 { return d.cfg.Capacity }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.st }
+
+// SetTracer installs a callback invoked for every host-level I/O ('R', 'W')
+// and trim ('T'), for blktrace-style capture. Pass nil to remove it.
+func (d *Device) SetTracer(fn func(op byte, off, length int64)) { d.tracer = fn }
+
+// ResetStats zeroes the counters (FTL state is preserved).
+func (d *Device) ResetStats() { d.st = Stats{} }
+
+func (d *Device) pageOf(off int64) int64 { return off / int64(d.cfg.PageSize) }
+
+func (d *Device) checkRange(off, length int64) {
+	if off < 0 || length <= 0 || off+length > d.cfg.Capacity {
+		panic(fmt.Sprintf("ssd %s: out-of-range I/O off=%d len=%d cap=%d", d.name, off, length, d.cfg.Capacity))
+	}
+}
+
+// physPageID encodes (block, slot).
+func (d *Device) physPageID(b, slot int) uint32 {
+	return uint32(b*d.cfg.PagesPerBlock + slot)
+}
+
+func (d *Device) decodePhys(p uint32) (b, slot int) {
+	return int(p) / d.cfg.PagesPerBlock, int(p) % d.cfg.PagesPerBlock
+}
+
+// allocPage programs one logical page into the active block, running GC
+// first if free space is low. It returns the flash work performed (pages
+// migrated by GC) so the caller can charge time for it.
+func (d *Device) allocPage(lpn int64) (migrated int) {
+	migrated = d.maybeGC()
+	blk := d.blocks[d.active]
+	if blk.written == d.cfg.PagesPerBlock {
+		if len(d.free) == 0 {
+			panic("ssd: no free blocks (over-provisioning exhausted)")
+		}
+		d.active = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		blk = d.blocks[d.active]
+	}
+	// Invalidate the previous mapping.
+	if old := d.l2p[lpn]; old != unmapped {
+		ob, oslot := d.decodePhys(old)
+		d.blocks[ob].p2l[oslot] = unmapped
+		d.blocks[ob].valid--
+	}
+	slot := blk.written
+	blk.p2l[slot] = uint32(lpn)
+	blk.written++
+	blk.valid++
+	d.l2p[lpn] = d.physPageID(d.active, slot)
+	return migrated
+}
+
+// maybeGC reclaims blocks greedily (minimum valid pages first) until the
+// free pool is above the low-water mark. It returns pages migrated.
+func (d *Device) maybeGC() (migrated int) {
+	low := int(float64(len(d.blocks)) * d.cfg.GCLowWater)
+	if low < 1 {
+		low = 1
+	}
+	for len(d.free) < low {
+		victim := -1
+		for i, b := range d.blocks {
+			if i == d.active || b.written < d.cfg.PagesPerBlock {
+				continue
+			}
+			if victim < 0 || b.valid < d.blocks[victim].valid {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return migrated // nothing eligible; writes will fill the active block
+		}
+		vb := d.blocks[victim]
+		if vb.valid == d.cfg.PagesPerBlock {
+			// Device is genuinely full of valid data; GC cannot help.
+			return migrated
+		}
+		// Migrate valid pages into the active block.
+		for slot, lpn := range vb.p2l {
+			if lpn == unmapped {
+				continue
+			}
+			if d.l2p[lpn] != d.physPageID(victim, slot) {
+				continue // stale
+			}
+			d.st.FlashReadBytes += int64(d.cfg.PageSize)
+			d.st.FlashWriteBytes += int64(d.cfg.PageSize)
+			d.st.GCMigratedPages++
+			migrated++
+			vb.p2l[slot] = unmapped
+			vb.valid--
+			d.l2p[lpn] = unmapped // re-map below
+			m := d.allocPageNoGC(int64(lpn))
+			_ = m
+		}
+		// Erase and free the victim.
+		for j := range vb.p2l {
+			vb.p2l[j] = unmapped
+		}
+		vb.written = 0
+		vb.valid = 0
+		vb.eraseCount++
+		d.st.Erases++
+		d.free = append(d.free, victim)
+	}
+	return migrated
+}
+
+// allocPageNoGC is allocPage without recursion into GC (used by GC itself).
+func (d *Device) allocPageNoGC(lpn int64) int {
+	blk := d.blocks[d.active]
+	if blk.written == d.cfg.PagesPerBlock {
+		if len(d.free) == 0 {
+			panic("ssd: no free blocks during GC migration")
+		}
+		d.active = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		blk = d.blocks[d.active]
+	}
+	if old := d.l2p[lpn]; old != unmapped {
+		ob, oslot := d.decodePhys(old)
+		d.blocks[ob].p2l[oslot] = unmapped
+		d.blocks[ob].valid--
+	}
+	slot := blk.written
+	blk.p2l[slot] = uint32(lpn)
+	blk.written++
+	blk.valid++
+	d.l2p[lpn] = d.physPageID(d.active, slot)
+	return 0
+}
+
+// Read performs a host read of [off, off+length). In CarryData mode it
+// returns the stored bytes (zeroes for never-written ranges); otherwise it
+// returns nil.
+func (d *Device) Read(p *sim.Proc, off, length int64) []byte {
+	d.checkRange(off, length)
+	d.st.HostReadOps++
+	d.st.HostReadBytes += length
+	if d.tracer != nil {
+		d.tracer('R', off, length)
+	}
+
+	firstPage := d.pageOf(off)
+	lastPage := d.pageOf(off + length - 1)
+	pages := lastPage - firstPage + 1
+	d.st.FlashReadBytes += pages * int64(d.cfg.PageSize)
+
+	seq := off == d.lastReadEnd
+	d.lastReadEnd = off + length
+
+	base := d.cfg.ReadBase
+	if seq {
+		base = time.Duration(float64(base) * d.cfg.SeqReadFactor)
+	}
+	svc := base + xferTime(length, d.cfg.ReadBandwidth)
+	d.serve(p, svc)
+
+	if !d.cfg.CarryData {
+		return nil
+	}
+	out := make([]byte, length)
+	for pg := firstPage; pg <= lastPage; pg++ {
+		pdata, ok := d.data[pg]
+		if !ok {
+			continue
+		}
+		pStart := pg * int64(d.cfg.PageSize)
+		for i := 0; i < d.cfg.PageSize; i++ {
+			abs := pStart + int64(i)
+			if abs >= off && abs < off+length {
+				out[abs-off] = pdata[i]
+			}
+		}
+	}
+	return out
+}
+
+// Write performs a host write of [off, off+length). In CarryData mode data
+// must hold length bytes; otherwise data may be nil.
+func (d *Device) Write(p *sim.Proc, off int64, data []byte, length int64) {
+	d.checkRange(off, length)
+	if data != nil && int64(len(data)) != length {
+		panic("ssd: data length does not match write length")
+	}
+	d.st.HostWriteOps++
+	d.st.HostWriteBytes += length
+	if d.tracer != nil {
+		d.tracer('W', off, length)
+	}
+
+	firstPage := d.pageOf(off)
+	lastPage := d.pageOf(off + length - 1)
+	ps := int64(d.cfg.PageSize)
+
+	seqMerge := off == d.lastWriteEnd
+	d.lastWriteEnd = off + length
+
+	migrated := 0
+	rmwPages := 0
+	for pg := firstPage; pg <= lastPage; pg++ {
+		pStart, pEnd := pg*ps, (pg+1)*ps
+		full := off <= pStart && off+length >= pEnd
+		if !full && !seqMerge && d.l2p[pg] != unmapped {
+			// Sub-page overwrite of mapped data: internal read-modify-write.
+			// A sequential sub-page stream coalesces in the write buffer
+			// instead (no RMW), which is why a bare SSD's sequential small
+			// writes beat random ones (Fig 18b baseline).
+			d.st.FlashReadBytes += ps
+			rmwPages++
+		}
+		migrated += d.allocPage(pg)
+		d.st.FlashWriteBytes += ps
+	}
+
+	svc := d.cfg.WriteBase + xferTime(length, d.cfg.WriteBandwidth)
+	if rmwPages > 0 {
+		svc += time.Duration(rmwPages) * d.cfg.ReadBase / 2
+	}
+	if migrated > 0 {
+		svc += time.Duration(migrated) * d.cfg.ProgramPage
+	}
+	d.serve(p, svc)
+
+	if d.cfg.CarryData {
+		for pg := firstPage; pg <= lastPage; pg++ {
+			pdata, ok := d.data[pg]
+			if !ok {
+				pdata = make([]byte, d.cfg.PageSize)
+				d.data[pg] = pdata
+			}
+			pStart := pg * ps
+			for i := 0; i < d.cfg.PageSize; i++ {
+				abs := pStart + int64(i)
+				if abs >= off && abs < off+length {
+					if data == nil {
+						pdata[i] = 0 // nil data writes zeroes
+					} else {
+						pdata[i] = data[abs-off]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Trim unmaps whole pages fully covered by [off, off+length), making them
+// GC-reclaimable without migration (issued by the object store when objects
+// are deleted or extents freed).
+func (d *Device) Trim(off, length int64) {
+	d.checkRange(off, length)
+	if d.tracer != nil {
+		d.tracer('T', off, length)
+	}
+	ps := int64(d.cfg.PageSize)
+	firstPage := (off + ps - 1) / ps // first fully covered page
+	lastPage := (off + length) / ps  // one past last fully covered
+	for pg := firstPage; pg < lastPage; pg++ {
+		if phys := d.l2p[pg]; phys != unmapped {
+			b, slot := d.decodePhys(phys)
+			d.blocks[b].p2l[slot] = unmapped
+			d.blocks[b].valid--
+			d.l2p[pg] = unmapped
+			d.st.TrimmedBytes += ps
+			if d.cfg.CarryData {
+				delete(d.data, pg)
+			}
+		}
+	}
+}
+
+// xferTime is the streaming time for n bytes at bw bytes/second.
+func xferTime(n, bw int64) time.Duration {
+	return time.Duration(n * int64(time.Second) / bw)
+}
+
+// serve queues the request and holds a device slot for the service time.
+func (d *Device) serve(p *sim.Proc, svc time.Duration) {
+	d.queue.Acquire(p, 1)
+	d.busy.Add(int64(svc))
+	p.Sleep(svc)
+	d.queue.Release(1)
+}
+
+// BusySeconds returns the cumulative device service time in seconds (sum
+// over queue slots; can exceed wall time under concurrency).
+func (d *Device) BusySeconds() float64 { return float64(d.busy.Value()) / 1e9 }
+
+// CheckInvariants validates FTL bookkeeping (used by tests and enabled
+// integrity checks): every mapped logical page must be backed by exactly the
+// physical slot that claims it, and per-block valid counts must match.
+func (d *Device) CheckInvariants() error {
+	validByBlock := make([]int, len(d.blocks))
+	for lpn, phys := range d.l2p {
+		if phys == unmapped {
+			continue
+		}
+		b, slot := d.decodePhys(phys)
+		if b < 0 || b >= len(d.blocks) || slot >= d.cfg.PagesPerBlock {
+			return fmt.Errorf("ssd %s: lpn %d maps to invalid phys %d", d.name, lpn, phys)
+		}
+		if d.blocks[b].p2l[slot] != uint32(lpn) {
+			return fmt.Errorf("ssd %s: lpn %d phys %d reverse-map mismatch", d.name, lpn, phys)
+		}
+		validByBlock[b]++
+	}
+	for i, b := range d.blocks {
+		if b.valid != validByBlock[i] {
+			return fmt.Errorf("ssd %s: block %d valid=%d, actual=%d", d.name, i, b.valid, validByBlock[i])
+		}
+		if b.written < b.valid || b.written > d.cfg.PagesPerBlock {
+			return fmt.Errorf("ssd %s: block %d written=%d valid=%d", d.name, i, b.written, b.valid)
+		}
+	}
+	return nil
+}

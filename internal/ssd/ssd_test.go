@@ -1,0 +1,388 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ecarray/internal/sim"
+)
+
+const testBlockBytes = 4096 * 256 // 1 MiB erase blocks
+
+func testConfig(capacity int64) Config {
+	cfg := DefaultConfig(capacity)
+	cfg.CarryData = true
+	return cfg
+}
+
+// run executes fn as a simulation process and drives it to completion.
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Go("test", fn)
+	e.Run()
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{},
+		{Capacity: 12345, PageSize: 4096, PagesPerBlock: 256, OverProvision: 0.1, QueueDepth: 4, SeqReadFactor: 1},
+		func() Config { c := DefaultConfig(testBlockBytes); c.OverProvision = 0; return c }(),
+		func() Config { c := DefaultConfig(testBlockBytes); c.QueueDepth = 0; return c }(),
+		func() Config { c := DefaultConfig(testBlockBytes); c.SeqReadFactor = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(e, "bad", cfg); err == nil {
+			t.Errorf("config %d must be rejected", i)
+		}
+	}
+	if _, err := New(e, "ok", DefaultConfig(16*testBlockBytes)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := New(e, "d0", testConfig(16*testBlockBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, e, func(p *sim.Proc) {
+		payload := []byte("hello flash world")
+		d.Write(p, 10_000, payload, int64(len(payload)))
+		got := d.Read(p, 10_000, int64(len(payload)))
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip mismatch: %q", got)
+		}
+		// Unwritten range reads zeroes.
+		z := d.Read(p, 5*testBlockBytes, 16)
+		if !bytes.Equal(z, make([]byte, 16)) {
+			t.Errorf("unwritten read = %v, want zeros", z)
+		}
+	})
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteVisible(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, "d0", testConfig(16*testBlockBytes))
+	run(t, e, func(p *sim.Proc) {
+		d.Write(p, 0, []byte("AAAA"), 4)
+		d.Write(p, 0, []byte("BBBB"), 4)
+		d.Write(p, 2, []byte("cc"), 2)
+		got := d.Read(p, 0, 4)
+		if string(got) != "BBcc" {
+			t.Errorf("overwrite result %q, want BBcc", got)
+		}
+	})
+}
+
+func TestHostCountersAndOps(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) {
+		d.Write(p, 0, nil, 8192)
+		d.Read(p, 0, 4096)
+	})
+	st := d.Stats()
+	if st.HostWriteBytes != 8192 || st.HostWriteOps != 1 {
+		t.Fatalf("write counters %+v", st)
+	}
+	if st.HostReadBytes != 4096 || st.HostReadOps != 1 {
+		t.Fatalf("read counters %+v", st)
+	}
+	d.ResetStats()
+	if d.Stats().HostWriteBytes != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestSequentialWriteAmpNearOne(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(64 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) {
+		// Write half the device sequentially in 64KB chunks, once.
+		var off int64
+		for off = 0; off < 32*testBlockBytes; off += 65536 {
+			d.Write(p, off, nil, 65536)
+		}
+	})
+	wa := d.Stats().WriteAmplification()
+	if wa > 1.05 {
+		t.Fatalf("sequential one-pass write amplification = %.3f, want ~1", wa)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOverwriteAmplifiesWrites(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	cfg.OverProvision = 0.10
+	d, _ := New(e, "d0", cfg)
+	rng := sim.NewRand(1)
+	run(t, e, func(p *sim.Proc) {
+		// Fill the device, then overwrite random 4K pages many times to
+		// force garbage collection with mixed-validity blocks.
+		for off := int64(0); off < 16*testBlockBytes; off += 65536 {
+			d.Write(p, off, nil, 65536)
+		}
+		for i := 0; i < 30000; i++ {
+			page := rng.Int63n(16 * 256)
+			d.Write(p, page*4096, nil, 4096)
+		}
+	})
+	st := d.Stats()
+	if st.Erases == 0 || st.GCMigratedPages == 0 {
+		t.Fatalf("expected GC activity, got %+v", st)
+	}
+	if wa := st.WriteAmplification(); wa < 1.1 {
+		t.Fatalf("random overwrite WA = %.3f, want > 1.1", wa)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimReducesGCPressure(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) {
+		for off := int64(0); off < 16*testBlockBytes; off += 65536 {
+			d.Write(p, off, nil, 65536)
+		}
+		d.Trim(0, 8*testBlockBytes)
+	})
+	if d.Stats().TrimmedBytes != 8*testBlockBytes {
+		t.Fatalf("TrimmedBytes = %d", d.Stats().TrimmedBytes)
+	}
+	run(t, e, func(p *sim.Proc) {
+		if got := d.Read(p, 0, 64); !bytes.Equal(got, make([]byte, 64)) {
+			t.Errorf("trimmed range must read zeroes")
+		}
+	})
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimPartialPagesIgnored(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, "d0", testConfig(16*testBlockBytes))
+	run(t, e, func(p *sim.Proc) {
+		d.Write(p, 0, bytes.Repeat([]byte{7}, 8192), 8192)
+		// Trim covering only part of each page must not unmap anything.
+		d.Trim(100, 4096)
+		got := d.Read(p, 0, 8192)
+		if got[0] != 7 || got[8191] != 7 {
+			t.Errorf("partial trim must not drop data")
+		}
+	})
+}
+
+func TestSubPageRandomWriteCausesRMW(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) {
+		d.Write(p, 0, nil, 4096) // map the page
+		before := d.Stats().FlashReadBytes
+		d.Write(p, 1024, nil, 512) // random sub-page overwrite
+		if got := d.Stats().FlashReadBytes - before; got != 4096 {
+			t.Errorf("sub-page overwrite flash read = %d, want 4096 (RMW)", got)
+		}
+	})
+}
+
+func TestSequentialSubPageWritesCoalesce(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) {
+		// Pre-write the page so RMW would trigger if not sequential.
+		d.Write(p, 0, nil, 8192)
+		before := d.Stats().FlashReadBytes
+		// Sequential 1KB stream: write-buffer merge, no internal RMW.
+		d.lastWriteEnd = 0
+		for off := int64(0); off < 8192; off += 1024 {
+			d.Write(p, off, nil, 1024)
+		}
+		if got := d.Stats().FlashReadBytes - before; got != 0 {
+			t.Errorf("sequential sub-page stream flash reads = %d, want 0", got)
+		}
+	})
+}
+
+func TestSequentialReadFasterThanRandom(t *testing.T) {
+	timeFor := func(seqPattern bool) sim.Time {
+		e := sim.NewEngine()
+		cfg := DefaultConfig(64 * testBlockBytes)
+		d, _ := New(e, "d0", cfg)
+		e.Go("t", func(p *sim.Proc) {
+			for off := int64(0); off < 64*testBlockBytes; off += 65536 {
+				d.Write(p, off, nil, 65536)
+			}
+		})
+		e.Run()
+		start := e.Now()
+		rng := sim.NewRand(2)
+		e.Go("t", func(p *sim.Proc) {
+			var off int64
+			for i := 0; i < 2000; i++ {
+				if seqPattern {
+					off += 4096
+				} else {
+					off = rng.Int63n(64*256) * 4096
+				}
+				d.Read(p, off, 4096)
+			}
+		})
+		e.Run()
+		return e.Now() - start
+	}
+	seq, rnd := timeFor(true), timeFor(false)
+	if float64(seq) > 0.8*float64(rnd) {
+		t.Fatalf("sequential 4K reads (%v) should be much faster than random (%v)", seq, rnd)
+	}
+}
+
+func TestQueueSerialization(t *testing.T) {
+	// More concurrent requests than queue depth: the device must serialize
+	// the excess, so total time exceeds one service time.
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	cfg.QueueDepth = 2
+	d, _ := New(e, "d0", cfg)
+	for i := 0; i < 8; i++ {
+		e.Go("w", func(p *sim.Proc) { d.Write(p, 0, nil, 4096) })
+	}
+	e.Run()
+	svc := cfg.WriteBase + time.Duration(4096*int64(time.Second)/cfg.WriteBandwidth)
+	// 8 ops over 2 slots: at least 4 serial waves.
+	if e.Now() < sim.Time(4*svc) {
+		t.Fatalf("duration %v too short for qd=2 with 8 ops (svc=%v)", e.Now(), svc)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, "d0", testConfig(16*testBlockBytes))
+	for name, fn := range map[string]func(p *sim.Proc){
+		"read past end":  func(p *sim.Proc) { d.Read(p, 16*testBlockBytes-1, 2) },
+		"negative off":   func(p *sim.Proc) { d.Read(p, -1, 2) },
+		"zero length":    func(p *sim.Proc) { d.Read(p, 0, 0) },
+		"write past end": func(p *sim.Proc) { d.Write(p, 16*testBlockBytes, nil, 1) },
+	} {
+		e := sim.NewEngine()
+		d2, _ := New(e, "d0", testConfig(16*testBlockBytes))
+		_ = d
+		e.Go(name, func(p *sim.Proc) { fn(p) })
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			_ = d2
+			e.Run()
+		}()
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	run(t, e, func(p *sim.Proc) { d.Write(p, 0, nil, 4096) })
+	if d.BusySeconds() <= 0 {
+		t.Fatal("busy time must accumulate")
+	}
+}
+
+func TestDataIntegrityUnderGC(t *testing.T) {
+	// Property: after heavy random overwrites that force GC, every page
+	// still reads back the last value written to it.
+	e := sim.NewEngine()
+	cfg := testConfig(8 * testBlockBytes)
+	cfg.OverProvision = 0.15
+	d, _ := New(e, "d0", cfg)
+	rng := sim.NewRand(3)
+	pages := int64(8 * 256)
+	shadow := make(map[int64]byte)
+	run(t, e, func(p *sim.Proc) {
+		buf := make([]byte, 4096)
+		for i := 0; i < 20000; i++ {
+			pg := rng.Int63n(pages)
+			v := byte(rng.Intn(256))
+			for j := range buf {
+				buf[j] = v
+			}
+			d.Write(p, pg*4096, buf, 4096)
+			shadow[pg] = v
+		}
+		for pg, v := range shadow {
+			got := d.Read(p, pg*4096, 4096)
+			if got[0] != v || got[4095] != v {
+				t.Errorf("page %d = %d, want %d", pg, got[0], v)
+				return
+			}
+		}
+	})
+	if d.Stats().Erases == 0 {
+		t.Fatal("test did not exercise GC")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAmpFormula(t *testing.T) {
+	s := Stats{HostWriteBytes: 100, FlashWriteBytes: 250}
+	if s.WriteAmplification() != 2.5 {
+		t.Fatalf("WA = %v", s.WriteAmplification())
+	}
+	if (Stats{}).WriteAmplification() != 0 {
+		t.Fatal("empty WA must be 0")
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(256 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	rng := sim.NewRand(4)
+	e.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			d.Write(p, rng.Int63n(256*256)*4096, nil, 4096)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkGCHeavyWorkload(b *testing.B) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	cfg.OverProvision = 0.08
+	d, _ := New(e, "d0", cfg)
+	rng := sim.NewRand(5)
+	e.Go("bench", func(p *sim.Proc) {
+		for off := int64(0); off < 16*testBlockBytes; off += 65536 {
+			d.Write(p, off, nil, 65536)
+		}
+		for i := 0; i < b.N; i++ {
+			d.Write(p, rng.Int63n(16*256)*4096, nil, 4096)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+var _ = time.Second // keep time imported for config literals in failures

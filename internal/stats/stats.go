@@ -1,0 +1,239 @@
+// Package stats provides the measurement primitives the reproduction
+// harness uses: byte/op counters, latency histograms with percentiles, and
+// fixed-interval time series (for the paper's Figs 19-20 time-series plots).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing tally (bytes, ops, switches).
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d (d must be non-negative).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("stats: negative counter increment")
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram collects duration samples and reports mean/percentiles. Samples
+// are stored in logarithmic buckets (1% resolution across 1ns..1000s), so
+// memory is constant and quantiles are approximate to bucket width.
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	histBuckets   = 2048
+	histGrowth    = 1.02 // ~2% bucket width
+	histMinSample = 1.0  // 1 ns
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, histBuckets), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func bucketOf(v float64) int {
+	if v < histMinSample {
+		return 0
+	}
+	b := int(math.Log(v/histMinSample) / math.Log(histGrowth))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+func bucketValue(b int) float64 {
+	return histMinSample * math.Pow(histGrowth, float64(b)+0.5)
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	v := float64(d)
+	if v < 0 {
+		panic("stats: negative duration sample")
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean sample as a duration (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min returns the smallest observed sample (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest observed sample (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(b)
+			// Clamp to observed extremes so tails are not inflated by
+			// bucket midpoints.
+			return time.Duration(math.Max(h.min, math.Min(h.max, v)))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.total = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}
+
+// Merge adds all of o's samples into h (approximate: bucket-wise).
+func (h *Histogram) Merge(o *Histogram) {
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	h.min = math.Min(h.min, o.min)
+	h.max = math.Max(h.max, o.max)
+}
+
+// Series is a fixed-interval time series: values are accumulated into the
+// bucket for the current interval. It backs the paper's per-second plots.
+type Series struct {
+	interval time.Duration
+	buckets  []float64
+}
+
+// NewSeries creates a series with the given sampling interval.
+func NewSeries(interval time.Duration) *Series {
+	if interval <= 0 {
+		panic("stats: series interval must be positive")
+	}
+	return &Series{interval: interval}
+}
+
+// Add accumulates v into the bucket containing time t (measured from the
+// series origin, typically simulation start).
+func (s *Series) Add(t time.Duration, v float64) {
+	if t < 0 {
+		panic("stats: negative series time")
+	}
+	idx := int(t / s.interval)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[idx] += v
+}
+
+// Interval returns the sampling interval.
+func (s *Series) Interval() time.Duration { return s.interval }
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.buckets) }
+
+// At returns the accumulated value of bucket i (0 beyond the end).
+func (s *Series) At(i int) float64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return s.buckets[i]
+}
+
+// Values returns a copy of all buckets.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.buckets...)
+}
+
+// Rate returns bucket values divided by the interval in seconds: a
+// per-second rate series for byte counters.
+func (s *Series) Rate() []float64 {
+	out := make([]float64, len(s.buckets))
+	secs := s.interval.Seconds()
+	for i, v := range s.buckets {
+		out[i] = v / secs
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile of the bucket values (for summary
+// statistics over a time series).
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.buckets) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), s.buckets...)
+	sort.Float64s(vals)
+	idx := int(p / 100 * float64(len(vals)-1))
+	return vals[idx]
+}
+
+// FormatBytes renders a byte count with binary-unit suffixes for reports.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

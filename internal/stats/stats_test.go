@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Fatalf("Value = %d, want 6", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add must panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Fatalf("Mean = %v, want ~50.5ms", mean)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Intn(10_000_000) + 1000)
+		samples = append(samples, float64(v))
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := samples[int(q*float64(len(samples)-1))]
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("Quantile(%v) = %v, want within 10%% of %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if h.Quantile(0) < time.Millisecond || h.Quantile(1) > time.Millisecond {
+		t.Fatal("single-sample quantiles must clamp to the sample")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range quantile must panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestHistogramExtremeSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(time.Hour * 10_000) // beyond the last bucket
+	if h.Count() != 2 {
+		t.Fatal("extreme samples must be recorded")
+	}
+	if h.Quantile(1) != time.Hour*10_000 {
+		t.Fatalf("max quantile = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(2 * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	mean := a.Mean()
+	if mean < 1400*time.Microsecond || mean > 1600*time.Microsecond {
+		t.Fatalf("merged mean = %v, want ~1.5ms", mean)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset must clear samples")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < 200; i++ {
+			h.Observe(time.Duration(rng.Intn(1_000_000)))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(0, 10)
+	s.Add(500*time.Millisecond, 5)
+	s.Add(1500*time.Millisecond, 7)
+	s.Add(10*time.Second, 1)
+	if s.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", s.Len())
+	}
+	if s.At(0) != 15 || s.At(1) != 7 || s.At(10) != 1 {
+		t.Fatalf("buckets = %v", s.Values())
+	}
+	if s.At(-1) != 0 || s.At(99) != 0 {
+		t.Fatal("out-of-range At must return 0")
+	}
+	if s.Interval() != time.Second {
+		t.Fatal("Interval accessor wrong")
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(500 * time.Millisecond)
+	s.Add(0, 100) // 100 bytes in a 0.5s bucket = 200 B/s
+	r := s.Rate()
+	if r[0] != 200 {
+		t.Fatalf("Rate[0] = %v, want 200", r[0])
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if s.Percentile(0) != 0 || s.Percentile(100) != 9 {
+		t.Fatalf("percentiles = %v..%v", s.Percentile(0), s.Percentile(100))
+	}
+	if s.Percentile(50) != 4 {
+		t.Fatalf("p50 = %v, want 4", s.Percentile(50))
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive interval must panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512B",
+		2048:            "2.0KiB",
+		3 * 1024 * 1024: "3.0MiB",
+		1 << 31:         "2.0GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package workload drives the cluster with FIO-like closed-loop jobs
+// (§III): a fixed queue depth of outstanding block requests (the paper uses
+// 256) against an RBD image, sequential or random, read or write, with a
+// fixed block size, measuring client-visible throughput and latency plus
+// the cluster-side metrics behind the paper's figures.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ecarray/internal/core"
+	"ecarray/internal/sim"
+	"ecarray/internal/stats"
+)
+
+// Pattern is the access pattern.
+type Pattern int
+
+// Access patterns.
+const (
+	Sequential Pattern = iota
+	Random
+)
+
+func (p Pattern) String() string {
+	if p == Sequential {
+		return "seq"
+	}
+	return "rand"
+}
+
+// Op is the request type.
+type Op int
+
+// Request types.
+const (
+	Read Op = iota
+	Write
+	// Mixed issues reads and writes per Job.MixRead (FIO's rwmixread).
+	Mixed
+)
+
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "mixed"
+	}
+}
+
+// Job describes one FIO-style run.
+type Job struct {
+	Name       string
+	Op         Op
+	Pattern    Pattern
+	BlockSize  int64
+	QueueDepth int
+	// Ramp is the warm-up before the measurement window opens; cluster
+	// metrics are reset at its end. Write experiments on pristine images
+	// use Ramp 0 so object initialization is measured, as in the paper.
+	Ramp time.Duration
+	// Duration is the measurement window.
+	Duration time.Duration
+	Seed     int64
+	// SampleInterval, when positive, records per-interval time series
+	// (throughput, CPU, context switches, private network) for the paper's
+	// Figs 19-20.
+	SampleInterval time.Duration
+	// MixRead is the read percentage for Op == Mixed (e.g. 70).
+	MixRead int
+	// Zipf, when > 1, skews random offsets with a Zipf(s=Zipf) popularity
+	// distribution instead of uniform (hot-spot workloads).
+	Zipf float64
+}
+
+func (j *Job) validate(imageSize int64) error {
+	switch {
+	case j.BlockSize <= 0 || j.BlockSize > imageSize:
+		return fmt.Errorf("workload: bad block size %d", j.BlockSize)
+	case j.QueueDepth <= 0:
+		return fmt.Errorf("workload: bad queue depth %d", j.QueueDepth)
+	case j.Duration <= 0:
+		return fmt.Errorf("workload: bad duration %v", j.Duration)
+	case j.Ramp < 0:
+		return fmt.Errorf("workload: negative ramp")
+	case j.Op == Mixed && (j.MixRead <= 0 || j.MixRead >= 100):
+		return fmt.Errorf("workload: Mixed requires MixRead in (0,100), got %d", j.MixRead)
+	case j.Op == Mixed && j.Pattern == Sequential:
+		return fmt.Errorf("workload: Mixed supports random pattern only")
+	case j.Zipf != 0 && j.Zipf <= 1:
+		return fmt.Errorf("workload: Zipf parameter must be > 1")
+	}
+	return nil
+}
+
+// Sample is one time-series point.
+type Sample struct {
+	Second     float64
+	MBps       float64 // client-visible completion throughput
+	UserCPU    float64 // storage-cluster fraction
+	KernelCPU  float64
+	CtxPerSec  float64
+	PrivateRx  float64 // B/s delivered over the private network
+	PrivateTx  float64 // B/s sent over the private network
+	DevReadBps float64
+	DevWriteBs float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Job     Job
+	Ops     int64
+	Bytes   int64
+	Seconds float64
+
+	MBps float64
+	IOPS float64
+
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+
+	// Cluster-side counters for the measurement window.
+	Metrics core.Metrics
+
+	// Samples is the per-interval time series (empty unless requested).
+	Samples []Sample
+
+	// Errors counts failed requests (should be zero without failures).
+	Errors int64
+
+	// ReadOps/WriteOps split the op count for mixed jobs.
+	ReadOps  int64
+	WriteOps int64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s %s bs=%d: %.1f MB/s, %.0f IOPS, lat mean %.2fms p99 %.2fms",
+		r.Job.Op, r.Job.Pattern, r.Job.BlockSize, r.MBps, r.IOPS,
+		float64(r.MeanLatency)/1e6, float64(r.P99Latency)/1e6)
+}
+
+// Run executes the job against the image and returns its result. It owns
+// the engine for the duration of the run: the cluster's metrics are reset at
+// the end of the ramp, workers stop issuing at the window end, in-flight
+// requests drain, and background daemons are stopped.
+func Run(c *core.Cluster, img *core.Image, job Job) (Result, error) {
+	if err := job.validate(img.Size()); err != nil {
+		return Result{}, err
+	}
+	e := c.Engine()
+	start := e.Now()
+	rampEnd := start + sim.Time(job.Ramp)
+	windowEnd := rampEnd + sim.Time(job.Duration)
+
+	blocks := img.Size() / job.BlockSize
+	if blocks == 0 {
+		return Result{}, fmt.Errorf("workload: image smaller than one block")
+	}
+
+	hist := stats.NewHistogram()
+	var ops, bytes, errs int64
+	var readOps, writeOps int64
+	var cursor int64 // sequential position (shared by workers, as one FIO job)
+	rng := sim.NewRand(job.Seed)
+	var zipf *rand.Zipf
+	if job.Zipf > 1 {
+		zipf = rand.NewZipf(rng, job.Zipf, 1, uint64(blocks-1))
+	}
+
+	var thrSeries *stats.Series
+	if job.SampleInterval > 0 {
+		thrSeries = stats.NewSeries(job.SampleInterval)
+	}
+
+	var payload []byte
+	if c.Config().CarryData && job.Op != Read {
+		payload = make([]byte, job.BlockSize)
+		rng.Read(payload)
+	}
+
+	for w := 0; w < job.QueueDepth; w++ {
+		e.Go(fmt.Sprintf("fio/%s/%d", job.Name, w), func(p *sim.Proc) {
+			for p.Now() < windowEnd {
+				var off int64
+				switch {
+				case job.Pattern == Sequential:
+					off = (cursor % blocks) * job.BlockSize
+					cursor++
+				case zipf != nil:
+					off = int64(zipf.Uint64()) * job.BlockSize
+				default:
+					off = rng.Int63n(blocks) * job.BlockSize
+				}
+				op := job.Op
+				if op == Mixed {
+					if rng.Intn(100) < job.MixRead {
+						op = Read
+					} else {
+						op = Write
+					}
+				}
+				issued := p.Now()
+				var err error
+				if op == Write {
+					err = img.Write(p, off, payload, job.BlockSize)
+				} else {
+					_, err = img.Read(p, off, job.BlockSize)
+				}
+				done := p.Now()
+				if err != nil {
+					errs++
+					continue
+				}
+				if done >= rampEnd && done <= windowEnd {
+					ops++
+					bytes += job.BlockSize
+					if op == Read {
+						readOps++
+					} else {
+						writeOps++
+					}
+					hist.Observe(time.Duration(done - issued))
+					if thrSeries != nil {
+						thrSeries.Add(time.Duration(done-start), float64(job.BlockSize))
+					}
+				}
+			}
+		})
+	}
+
+	// Reset cluster metrics when the measurement window opens.
+	if job.Ramp > 0 {
+		e.Schedule(job.Ramp, func() { c.ResetMetrics() })
+	} else {
+		c.ResetMetrics()
+	}
+
+	// Optional cluster-side sampler.
+	var samples []Sample
+	if job.SampleInterval > 0 {
+		runSampler(c, job, start, windowEnd, thrSeries, &samples)
+	}
+
+	// Drive the run: workers re-check the clock after each op, so running
+	// past windowEnd lets in-flight requests complete, then everything
+	// drains naturally once the cluster's daemons stop.
+	e.RunUntil(windowEnd)
+	c.Stop()
+	e.Run()
+
+	m := c.Metrics()
+	elapsed := job.Duration.Seconds()
+	res := Result{
+		Job:         job,
+		Ops:         ops,
+		Bytes:       bytes,
+		Seconds:     elapsed,
+		MeanLatency: hist.Mean(),
+		P50Latency:  hist.Quantile(0.5),
+		P99Latency:  hist.Quantile(0.99),
+		MaxLatency:  hist.Max(),
+		Metrics:     m,
+		Errors:      errs,
+		ReadOps:     readOps,
+		WriteOps:    writeOps,
+	}
+	if elapsed > 0 {
+		res.MBps = float64(bytes) / elapsed / (1 << 20)
+		res.IOPS = float64(ops) / elapsed
+	}
+	if job.SampleInterval > 0 {
+		res.Samples = samples
+	}
+	return res, nil
+}
+
+// runSampler registers periodic sampling events; *out fills as the engine
+// runs. Deltas are clamped at zero to absorb the counter reset at ramp end.
+func runSampler(c *core.Cluster, job Job, start, windowEnd sim.Time,
+	thrSeries *stats.Series, out *[]Sample) {
+	e := c.Engine()
+	interval := job.SampleInterval
+	type snap struct {
+		user, kern float64
+		ctx        int64
+		priv       int64
+		devR, devW int64
+	}
+	var last snap
+	var tick func()
+	readCounters := func() snap {
+		var s snap
+		for _, n := range c.Nodes() {
+			u, k := n.CPU.BusySeconds()
+			s.user += u
+			s.kern += k
+			s.ctx += n.CPU.ContextSwitches()
+		}
+		s.priv = c.PrivateNetwork().Bytes()
+		for _, o := range c.OSDs() {
+			ds := o.Store.Device().Stats()
+			s.devR += ds.HostReadBytes
+			s.devW += ds.HostWriteBytes
+		}
+		return s
+	}
+	last = readCounters()
+	cores := float64(len(c.Nodes()) * c.Nodes()[0].CPU.Cores())
+	secs := interval.Seconds()
+	tick = func() {
+		now := e.Now()
+		if now > windowEnd {
+			return
+		}
+		cur := readCounters()
+		idx := int((now - start).Duration() / interval)
+		var mbps float64
+		if thrSeries != nil && idx > 0 {
+			mbps = thrSeries.At(idx-1) / secs / (1 << 20)
+		}
+		pos := func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+		*out = append(*out, Sample{
+			Second:     (now - start).Seconds(),
+			MBps:       mbps,
+			UserCPU:    pos((cur.user - last.user) / (secs * cores)),
+			KernelCPU:  pos((cur.kern - last.kern) / (secs * cores)),
+			CtxPerSec:  pos(float64(cur.ctx-last.ctx) / secs),
+			PrivateRx:  pos(float64(cur.priv-last.priv) / secs),
+			PrivateTx:  pos(float64(cur.priv-last.priv) / secs),
+			DevReadBps: pos(float64(cur.devR-last.devR) / secs),
+			DevWriteBs: pos(float64(cur.devW-last.devW) / secs),
+		})
+		last = cur
+		e.Schedule(interval, tick)
+	}
+	e.Schedule(interval, tick)
+}
