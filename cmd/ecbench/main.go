@@ -5,6 +5,7 @@
 //
 //	ecbench [-fig all|fig1|fig5|...|fig20] [-scale quick|paper]
 //	        [-duration 8s] [-image 32] [-qd 256] [-csvdir out/]
+//	        [-codec-kernel auto|scalar|vector] [-codec-conc n] [-calibrate]
 //
 // Scale "paper" runs the full 1KB..128KB sweep with long windows (minutes
 // of wall time); "quick" runs a reduced sweep for fast iteration.
@@ -15,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"ecarray/internal/bench"
+	"ecarray/internal/gf"
 )
 
 func main() {
@@ -29,7 +32,17 @@ func main() {
 	imageGiB := flag.Int64("image", 0, "override image size in GiB")
 	qd := flag.Int("qd", 0, "override queue depth")
 	csvdir := flag.String("csvdir", "", "also write each table as CSV into this directory")
+	codecKernel := flag.String("codec-kernel", "auto", "GF kernel for the RS codec: auto, scalar or vector")
+	codecConc := flag.Int("codec-conc", 0, "max codec worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	calibrate := flag.Bool("calibrate", false, "derive simulated encode cost from the real codec's measured MB/s")
 	flag.Parse()
+
+	kern, ok := gf.ParseKernel(*codecKernel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ecbench: unknown codec kernel %q\n", *codecKernel)
+		os.Exit(2)
+	}
+	gf.SetKernel(kern)
 
 	var opt bench.Options
 	switch *scale {
@@ -49,6 +62,17 @@ func main() {
 	}
 	if *qd > 0 {
 		opt.QueueDepth = *qd
+	}
+	opt.CodecConcurrency = *codecConc
+	opt.CalibrateEncode = *calibrate
+	if *calibrate {
+		workers := opt.CodecConcurrency
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		active := gf.ActiveKernel()
+		fmt.Printf("codec: kernel=%s simd=%v workers=%d (encode cost calibrated from measured MB/s)\n",
+			active, active == gf.KernelVector && gf.Accelerated(), workers)
 	}
 
 	suite, err := bench.NewSuite(opt)

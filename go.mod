@@ -1,0 +1,3 @@
+module ecarray
+
+go 1.22

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestCalibrateEncodePlumbing verifies the codec knobs reach the cluster
+// config: with CalibrateEncode on, EC clusters get a measured EncodeMBps
+// (so encode cost follows the real codec), and replicated clusters are
+// untouched; with it off, the paper-calibrated constant stays in charge.
+func TestCalibrateEncodePlumbing(t *testing.T) {
+	opt := Tiny()
+	opt.CalibrateEncode = true
+	opt.CodecConcurrency = 2
+	s, err := NewSuite(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mbps := s.encodeMBps(6, 3)
+	if mbps <= 0 {
+		t.Fatalf("encodeMBps(6,3) = %v, want > 0", mbps)
+	}
+	if again := s.encodeMBps(6, 3); again != mbps {
+		t.Fatalf("encodeMBps must be cached: %v then %v", mbps, again)
+	}
+
+	schemes := Schemes()
+	var ecScheme, repScheme Scheme
+	for _, sc := range schemes {
+		if sc.Profile.IsEC() {
+			ecScheme = sc
+		} else {
+			repScheme = sc
+		}
+	}
+	c, _, err := s.clusterFor(ecScheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().Cost.EncodeMBps; got <= 0 {
+		t.Fatalf("calibrated EC cluster EncodeMBps = %v, want > 0", got)
+	}
+	if got := c.Config().CodecConcurrency; got != 2 {
+		t.Fatalf("cluster CodecConcurrency = %d, want 2", got)
+	}
+	cRep, _, err := s.clusterFor(repScheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cRep.Config().Cost.EncodeMBps; got != 0 {
+		t.Fatalf("replicated cluster EncodeMBps = %v, want 0", got)
+	}
+
+	// Off by default: no calibration.
+	s2, err := NewSuite(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := s2.clusterFor(ecScheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Config().Cost.EncodeMBps; got != 0 {
+		t.Fatalf("uncalibrated cluster EncodeMBps = %v, want 0", got)
+	}
+}

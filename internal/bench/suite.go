@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ecarray/internal/core"
+	"ecarray/internal/rs"
 	"ecarray/internal/sim"
 	"ecarray/internal/ssd"
 	"ecarray/internal/workload"
@@ -46,6 +47,16 @@ type Options struct {
 	DeviceCapacity int64
 	// Cost optionally overrides the cost model (nil = default).
 	Cost *core.CostModel
+
+	// CodecConcurrency caps the RS codec's worker goroutines in carry-mode
+	// clusters (0 = GOMAXPROCS, 1 = serial). Metrics are identical at any
+	// setting; only wall-clock time changes.
+	CodecConcurrency int
+	// CalibrateEncode derives each EC scheme's simulated encode cost from
+	// the measured throughput of the real codec (rs.MeasureEncodeMBps)
+	// instead of the paper-calibrated constant. Measured numbers vary
+	// across machines, so leave this off for reproducible comparisons.
+	CalibrateEncode bool
 }
 
 // PaperBlockSizes is the paper's 1 KB..128 KB sweep.
@@ -184,6 +195,7 @@ type Suite struct {
 	Opt   Options
 	cells map[Key]Cell
 	ssd   map[Key]Cell // bare-SSD baseline cells (scheme "SSD")
+	mbps  map[[2]int]float64
 }
 
 // NewSuite returns an empty suite.
@@ -191,7 +203,27 @@ func NewSuite(opt Options) (*Suite, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}}, nil
+	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}, mbps: map[[2]int]float64{}}, nil
+}
+
+// encodeMBps measures (and caches) the real codec's per-parity-row encode
+// throughput for RS(k,m), honoring the suite's concurrency knob and the
+// active GF kernel. The measurement uses 64 KiB shards — the granularity a
+// backend encodes at — and is normalized per parity row to match the cost
+// model's EncodePerKB semantics.
+func (s *Suite) encodeMBps(k, m int) float64 {
+	key := [2]int{k, m}
+	if v, ok := s.mbps[key]; ok {
+		return v
+	}
+	code, err := rs.New(k, m)
+	if err != nil {
+		return 0
+	}
+	v := rs.MeasureEncodeMBps(code.WithConcurrency(s.Opt.CodecConcurrency), 64<<10, 60*time.Millisecond)
+	v *= float64(m) // data MB/s → per-parity-row MB/s
+	s.mbps[key] = v
+	return v
 }
 
 // Cell runs (or returns the cached) cell for the key.
@@ -217,6 +249,12 @@ func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.
 	cfg.Seed = s.Opt.Seed + seedSalt
 	if s.Opt.Cost != nil {
 		cfg.Cost = *s.Opt.Cost
+	}
+	cfg.CodecConcurrency = s.Opt.CodecConcurrency
+	if s.Opt.CalibrateEncode && scheme.Profile.IsEC() {
+		if mbps := s.encodeMBps(scheme.Profile.K, scheme.Profile.M); mbps > 0 {
+			cfg.Cost.EncodeMBps = mbps
+		}
 	}
 	e := sim.NewEngine()
 	c, err := core.New(e, cfg)

@@ -60,6 +60,13 @@ type Config struct {
 	// Keep clusters small in this mode.
 	CarryData bool
 
+	// CodecConcurrency is the maximum number of goroutines the RS codec
+	// hot path (Encode/Reconstruct/UpdateParity in carry mode) shards work
+	// across. 0 selects GOMAXPROCS; 1 forces the serial codec. Codec
+	// output is byte-identical at every setting, so simulated metrics stay
+	// deterministic regardless of the knob.
+	CodecConcurrency int
+
 	// Seed drives all stochastic model components.
 	Seed int64
 }
@@ -107,6 +114,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: negative stripe cache size")
 	case c.DeviceCapacity <= 0:
 		return fmt.Errorf("core: device capacity must be positive")
+	case c.CodecConcurrency < 0:
+		return fmt.Errorf("core: negative codec concurrency")
 	case c.Cost.HeartbeatInterval <= 0:
 		return fmt.Errorf("core: heartbeat interval must be positive")
 	}

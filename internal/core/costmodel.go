@@ -34,7 +34,16 @@ type CostModel struct {
 
 	// EncodePerKB is the generator-matrix multiply cost per KiB of stripe
 	// data per parity row (the Galois-field table path runs ≈1 GB/s/core).
+	// It is the paper-calibrated fallback; EncodeMBps overrides it when set.
 	EncodePerKB time.Duration
+	// EncodeMBps, when > 0, derives the per-KiB encode cost from a measured
+	// codec throughput (MiB of data encoded per second per parity row, as
+	// reported by rs.MeasureEncodeMBps scaled by m) so simulated CPU time
+	// tracks the real vectorized codec instead of a hard-coded constant.
+	// Calibration is explicit (see bench.Options.CalibrateEncode): a
+	// measured value varies across machines, so reproducible runs either
+	// leave it zero or pin it to a recorded number.
+	EncodeMBps float64
 	// ConcatPerKB is the RS-concatenation cost per KiB when composing
 	// chunks into a stripe.
 	ConcatPerKB time.Duration
@@ -59,6 +68,16 @@ type CostModel struct {
 	// Heartbeats (§VI-B: ~20KB/s of monitoring traffic).
 	HeartbeatInterval time.Duration
 	HeartbeatBytes    int64
+}
+
+// EncodeCostPerKB returns the effective per-KiB-per-parity-row encode
+// cost: derived from the measured codec throughput when EncodeMBps is
+// set, the paper-calibrated EncodePerKB constant otherwise.
+func (cm *CostModel) EncodeCostPerKB() time.Duration {
+	if cm.EncodeMBps > 0 {
+		return time.Duration(float64(time.Second) / (cm.EncodeMBps * 1024))
+	}
+	return cm.EncodePerKB
 }
 
 // DefaultCostModel returns costs calibrated against the paper's testbed

@@ -51,7 +51,7 @@ func newPool(c *Cluster, id int, name string, profile Profile) (*Pool, error) {
 		if err != nil {
 			return nil, err
 		}
-		pl.code = code
+		pl.code = code.WithConcurrency(c.cfg.CodecConcurrency)
 	}
 	width := profile.Width()
 	for pgid := 0; pgid < c.cfg.PGsPerPool; pgid++ {

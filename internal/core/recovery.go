@@ -126,7 +126,7 @@ func (pl *Pool) recoverECPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStat
 
 		// Reconstruct all missing shards (decode cost: one recover-matrix
 		// row of k coefficients per missing shard over the shard bytes).
-		prim.Node.CPU.Exec(p, perKB(int64(len(rebuilt))*g.shardSize*int64(g.k), cm.EncodePerKB), 0)
+		prim.Node.CPU.Exec(p, perKB(int64(len(rebuilt))*g.shardSize*int64(g.k), cm.EncodeCostPerKB()), 0)
 		var shardBytes map[int][]byte
 		if pl.c.cfg.CarryData {
 			var err error

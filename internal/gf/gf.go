@@ -7,9 +7,14 @@
 //
 // The field is GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
 // (0x11d), the conventional choice for storage RS codes (Jerasure, ISA-L).
-// Multiplication uses log/exp tables built at package init; bulk operations
-// use a per-coefficient 256-entry product table so the inner loop is a single
-// table lookup and XOR per byte.
+// Multiplication uses log/exp tables built at package init.
+//
+// The bulk operations come in two selectable kernels (see Kernel and
+// SetKernel): a per-byte product-table scalar reference, and a vectorized
+// hot path built on split low/high-nibble 16-entry tables — an AVX2
+// shuffle on amd64, a word-at-a-time pure-Go kernel elsewhere. Both are
+// byte-identical; the scalar kernel exists so tests can differentially
+// validate the vector path.
 package gf
 
 // Polynomial is the primitive polynomial used to construct the field,
@@ -47,6 +52,7 @@ func init() {
 			mulTbl[a][b] = mulSlow(byte(a), byte(b))
 		}
 	}
+	initKernelTables()
 }
 
 func mulSlow(a, b byte) byte {
@@ -117,8 +123,9 @@ func Pow(a byte, n int) byte {
 	return expTbl[l]
 }
 
-// MulSlice sets dst[i] = c*src[i] for every i. dst and src must have the same
-// length; they may alias.
+// MulSlice sets dst[i] = c*src[i] for every i. dst and src must have the
+// same length; they may be the same slice (exact aliasing), but must not
+// partially overlap.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: MulSlice length mismatch")
@@ -131,14 +138,16 @@ func MulSlice(c byte, src, dst []byte) {
 		copy(dst, src)
 		return
 	}
-	tbl := &mulTbl[c]
-	for i, s := range src {
-		dst[i] = tbl[s]
+	if ActiveKernel() == KernelScalar {
+		mulSliceScalar(c, src, dst)
+		return
 	}
+	mulSliceVector(c, src, dst)
 }
 
 // MulAddSlice sets dst[i] ^= c*src[i] for every i: the multiply-accumulate
-// kernel of RS encoding. dst and src must have the same length.
+// kernel of RS encoding. dst and src must have the same length; they must
+// not partially overlap.
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: MulAddSlice length mismatch")
@@ -147,15 +156,14 @@ func MulAddSlice(c byte, src, dst []byte) {
 	case 0:
 		return
 	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		AddSlice(src, dst)
 		return
 	}
-	tbl := &mulTbl[c]
-	for i, s := range src {
-		dst[i] ^= tbl[s]
+	if ActiveKernel() == KernelScalar {
+		mulAddSliceScalar(c, src, dst)
+		return
 	}
+	mulAddSliceVector(c, src, dst)
 }
 
 // AddSlice sets dst[i] ^= src[i] for every i.
@@ -163,9 +171,11 @@ func AddSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: AddSlice length mismatch")
 	}
-	for i, s := range src {
-		dst[i] ^= s
+	if ActiveKernel() == KernelScalar {
+		addSliceScalar(src, dst)
+		return
 	}
+	addSliceVector(src, dst)
 }
 
 // MulTable returns the 256-entry product table for coefficient c. Callers

@@ -1,0 +1,180 @@
+package gf
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Kernel selects the implementation behind the bulk slice operations
+// (MulSlice, MulAddSlice, AddSlice). The scalar kernel is the simple
+// per-byte product-table loop and serves as the reference implementation;
+// the vector kernel is the optimized hot path: split low/high-nibble
+// 16-entry tables driving a SIMD shuffle on amd64 (AVX2, klauspost-style)
+// and word-at-a-time XOR elsewhere. Both produce byte-identical results.
+type Kernel uint32
+
+const (
+	// KernelAuto resolves to the fastest kernel available at runtime.
+	KernelAuto Kernel = iota
+	// KernelScalar is the per-byte 256-entry product-table reference loop.
+	KernelScalar
+	// KernelVector is the nibble-table bulk kernel (SIMD-accelerated on
+	// amd64 with AVX2, portable pure-Go otherwise).
+	KernelVector
+)
+
+// String names the kernel ("auto", "scalar", "vector").
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelVector:
+		return "vector"
+	}
+	return "unknown"
+}
+
+// ParseKernel maps a name from String back to a Kernel.
+func ParseKernel(name string) (Kernel, bool) {
+	switch name {
+	case "auto", "":
+		return KernelAuto, true
+	case "scalar":
+		return KernelScalar, true
+	case "vector":
+		return KernelVector, true
+	}
+	return KernelAuto, false
+}
+
+// activeKernel holds the resolved kernel (KernelScalar or KernelVector).
+// It is atomic so tests and tools can switch kernels while concurrent
+// encoders are running without a data race.
+var activeKernel atomic.Uint32
+
+// SetKernel selects the kernel used by the bulk slice operations and
+// returns the previous selection. KernelAuto selects the vector kernel.
+// Safe for concurrent use; in-flight operations finish on the kernel they
+// started with.
+func SetKernel(k Kernel) (prev Kernel) {
+	if k == KernelAuto {
+		k = KernelVector
+	}
+	return Kernel(activeKernel.Swap(uint32(k)))
+}
+
+// ActiveKernel reports the kernel currently in use.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// Accelerated reports whether the vector kernel is backed by CPU SIMD
+// (AVX2 on amd64) rather than the portable pure-Go word kernel.
+func Accelerated() bool { return hasAVX2 }
+
+// Split-nibble product tables: for a coefficient c and a source byte
+// s = hi<<4 | lo, c*s = nibLow[c][lo] ^ nibHigh[c][hi] by distributivity.
+// Each coefficient needs only 2×16 entries, which is exactly the shape a
+// 16-lane byte shuffle (PSHUFB) consumes; the portable kernels use the
+// same tables so every platform exercises the same data path.
+var (
+	nibLow  [Order][16]byte // nibLow[c][n]  = c * n
+	nibHigh [Order][16]byte // nibHigh[c][n] = c * (n<<4)
+)
+
+// initKernelTables derives the nibble tables from mulTbl. Called from the
+// package init in gf.go after the full product table is built.
+func initKernelTables() {
+	for c := 0; c < Order; c++ {
+		for n := 0; n < 16; n++ {
+			nibLow[c][n] = mulTbl[c][n]
+			nibHigh[c][n] = mulTbl[c][n<<4]
+		}
+	}
+	activeKernel.Store(uint32(KernelVector))
+}
+
+// --- scalar reference kernels (per-byte product table) ---
+
+func mulSliceScalar(c byte, src, dst []byte) {
+	tbl := &mulTbl[c]
+	for i, s := range src {
+		dst[i] = tbl[s]
+	}
+}
+
+func mulAddSliceScalar(c byte, src, dst []byte) {
+	tbl := &mulTbl[c]
+	for i, s := range src {
+		dst[i] ^= tbl[s]
+	}
+}
+
+func addSliceScalar(src, dst []byte) {
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// --- portable nibble-table kernels ---
+//
+// The portable multiply body keeps the hoisted product-table loop (on
+// machines without SIMD a 256-entry L1-resident lookup is the fastest pure
+// Go form) and handles short tails through the nibble tables so the
+// split-table path is exercised on every platform.
+
+func mulSliceNibbleTail(c byte, src, dst []byte) {
+	lo, hi := &nibLow[c], &nibHigh[c]
+	for i, s := range src {
+		dst[i] = lo[s&0x0f] ^ hi[s>>4]
+	}
+}
+
+func mulAddSliceNibbleTail(c byte, src, dst []byte) {
+	lo, hi := &nibLow[c], &nibHigh[c]
+	for i, s := range src {
+		dst[i] ^= lo[s&0x0f] ^ hi[s>>4]
+	}
+}
+
+func mulSlicePortable(c byte, src, dst []byte) {
+	if len(src) < 16 {
+		mulSliceNibbleTail(c, src, dst)
+		return
+	}
+	mulSliceScalar(c, src, dst)
+}
+
+func mulAddSlicePortable(c byte, src, dst []byte) {
+	if len(src) < 16 {
+		mulAddSliceNibbleTail(c, src, dst)
+		return
+	}
+	mulAddSliceScalar(c, src, dst)
+}
+
+// addSliceVector is the 8-way unrolled uint64 XOR kernel: eight 64-bit
+// words (64 bytes) per iteration, then a word loop, then a byte tail. Word
+// access goes through encoding/binary, which the compiler lowers to plain
+// loads/stores; lane-wise XOR is byte-order agnostic, so this is portable.
+func addSliceVector(src, dst []byte) {
+	n := len(src)
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		s, d := src[i:i+64], dst[i:i+64]
+		binary.LittleEndian.PutUint64(d[0:], binary.LittleEndian.Uint64(d[0:])^binary.LittleEndian.Uint64(s[0:]))
+		binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^binary.LittleEndian.Uint64(s[8:]))
+		binary.LittleEndian.PutUint64(d[16:], binary.LittleEndian.Uint64(d[16:])^binary.LittleEndian.Uint64(s[16:]))
+		binary.LittleEndian.PutUint64(d[24:], binary.LittleEndian.Uint64(d[24:])^binary.LittleEndian.Uint64(s[24:]))
+		binary.LittleEndian.PutUint64(d[32:], binary.LittleEndian.Uint64(d[32:])^binary.LittleEndian.Uint64(s[32:]))
+		binary.LittleEndian.PutUint64(d[40:], binary.LittleEndian.Uint64(d[40:])^binary.LittleEndian.Uint64(s[40:]))
+		binary.LittleEndian.PutUint64(d[48:], binary.LittleEndian.Uint64(d[48:])^binary.LittleEndian.Uint64(s[48:]))
+		binary.LittleEndian.PutUint64(d[56:], binary.LittleEndian.Uint64(d[56:])^binary.LittleEndian.Uint64(s[56:]))
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,71 @@
+//go:build amd64 && !purego
+
+package gf
+
+// AVX2 vector kernels: the split low/high-nibble tables are broadcast into
+// YMM registers and a VPSHUFB per nibble turns multiplication by a fixed
+// coefficient into two 32-lane shuffles plus an XOR — the standard
+// high-throughput GF(2^8) form (Jerasure/ISA-L/klauspost). The assembly
+// handles whole 32-byte blocks; Go code handles the tail.
+
+// hasAVX2 gates the SIMD path. Detection needs CPUID *and* an OS that
+// saves YMM state (OSXSAVE + XCR0), exactly like internal/cpu does.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// cpuidex executes CPUID with the given leaf/subleaf. Implemented in
+// kernel_amd64.s.
+func cpuidex(op, op2 uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0. Implemented in
+// kernel_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// galMulSliceAVX2 sets dst[i] = c*src[i] over len(src) bytes, which must
+// be a positive multiple of 32. The nibble tables select the coefficient.
+func galMulSliceAVX2(low, high *[16]byte, src, dst []byte)
+
+// galMulAddSliceAVX2 sets dst[i] ^= c*src[i] over len(src) bytes, which
+// must be a positive multiple of 32.
+func galMulAddSliceAVX2(low, high *[16]byte, src, dst []byte)
+
+func mulSliceVector(c byte, src, dst []byte) {
+	if hasAVX2 {
+		if n := len(src) &^ 31; n > 0 {
+			galMulSliceAVX2(&nibLow[c], &nibHigh[c], src[:n], dst[:n])
+			src, dst = src[n:], dst[n:]
+		}
+		mulSliceNibbleTail(c, src, dst)
+		return
+	}
+	mulSlicePortable(c, src, dst)
+}
+
+func mulAddSliceVector(c byte, src, dst []byte) {
+	if hasAVX2 {
+		if n := len(src) &^ 31; n > 0 {
+			galMulAddSliceAVX2(&nibLow[c], &nibHigh[c], src[:n], dst[:n])
+			src, dst = src[n:], dst[n:]
+		}
+		mulAddSliceNibbleTail(c, src, dst)
+		return
+	}
+	mulAddSlicePortable(c, src, dst)
+}

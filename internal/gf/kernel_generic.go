@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package gf
+
+// Non-amd64 (or purego) builds: the vector kernel is the portable pure-Go
+// path. Results are byte-identical to the scalar reference everywhere.
+
+const hasAVX2 = false
+
+func mulSliceVector(c byte, src, dst []byte)    { mulSlicePortable(c, src, dst) }
+func mulAddSliceVector(c byte, src, dst []byte) { mulAddSlicePortable(c, src, dst) }

@@ -1,0 +1,53 @@
+package rs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MeasureEncodeMBps measures the codec's steady-state encode throughput on
+// this machine: MiB of *data* (the k data shards) encoded per wall-clock
+// second, using whatever GF kernel and concurrency the codec is configured
+// with. shardSize is the per-shard buffer size (the paper's stripe unit is
+// 4 KiB; storage backends commonly encode 64 KiB+ at once). minDuration
+// bounds the measurement window; a few tens of milliseconds gives stable
+// numbers.
+//
+// internal/core uses the result to derive its simulated per-KiB encode CPU
+// cost, so the simulator's compute model tracks the real codec instead of
+// a hard-coded constant.
+func MeasureEncodeMBps(c *Code, shardSize int, minDuration time.Duration) float64 {
+	if shardSize <= 0 {
+		shardSize = 64 << 10
+	}
+	if minDuration <= 0 {
+		minDuration = 50 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, c.k+c.m)
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+		rng.Read(shards[i])
+	}
+	// Warm up tables, page in buffers.
+	if err := c.Encode(shards); err != nil {
+		return 0
+	}
+	dataBytes := int64(c.k) * int64(shardSize)
+	var iters int64
+	start := time.Now()
+	for {
+		if err := c.Encode(shards); err != nil {
+			return 0
+		}
+		iters++
+		if iters >= 3 && time.Since(start) >= minDuration {
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(dataBytes*iters) / elapsed / (1 << 20)
+}

@@ -1,0 +1,150 @@
+package rs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ecarray/internal/gf"
+)
+
+// Work sharding for the codec hot path. Encode, Reconstruct and
+// UpdateParity all reduce to a set of independent row products
+// out = Σ coeffs[i] × srcs[i]; rows are further split into byte spans so a
+// stripe wider than one span can occupy several cores. Span boundaries are
+// fixed (not load-dependent), every span of every row is computed with the
+// same arithmetic as the serial path, and spans never overlap — so results
+// are byte-identical regardless of concurrency.
+
+const (
+	// spanBytes is the target bytes per parallel work unit. Big enough to
+	// amortize goroutine scheduling, small enough to split a single large
+	// shard across cores.
+	spanBytes = 32 << 10
+	// minParallelBytes is the smallest total job size worth fanning out.
+	minParallelBytes = 16 << 10
+	// spanAlign keeps span boundaries cache-line aligned so no two workers
+	// write the same line.
+	spanAlign = 64
+)
+
+// mulJob is one output row: out = Σ coeffs[i] × srcs[i] (skipping zero
+// coefficients). All srcs and out have the same length. With accumulate
+// set, out holds prior content and the products XOR into it instead of
+// replacing it.
+type mulJob struct {
+	coeffs     []byte
+	srcs       [][]byte
+	out        []byte
+	accumulate bool
+}
+
+// run computes the row product over out[lo:hi].
+func (j *mulJob) run(lo, hi int) {
+	first := !j.accumulate
+	for i, cf := range j.coeffs {
+		if cf == 0 {
+			continue
+		}
+		if first {
+			gf.MulSlice(cf, j.srcs[i][lo:hi], j.out[lo:hi])
+			first = false
+			continue
+		}
+		gf.MulAddSlice(cf, j.srcs[i][lo:hi], j.out[lo:hi])
+	}
+	if first {
+		clear(j.out[lo:hi])
+	}
+}
+
+// mulRow computes out = Σ coeffs[i] × src[i] serially (reference path and
+// single-span fallback).
+func mulRow(coeffs []byte, src [][]byte, out []byte) {
+	j := mulJob{coeffs: coeffs, srcs: src, out: out}
+	j.run(0, len(out))
+}
+
+// WithConcurrency returns a codec identical to c that shards Encode,
+// Reconstruct and UpdateParity across up to n goroutines. n <= 0 selects
+// GOMAXPROCS. n == 1 is the serial codec. The generator matrix is shared;
+// the returned codec (like c) is immutable and safe for concurrent use,
+// and its output is byte-identical to the serial codec's.
+func (c *Code) WithConcurrency(n int) *Code {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	d := *c
+	d.conc = n
+	return &d
+}
+
+// Concurrency reports the codec's maximum worker count (1 = serial).
+func (c *Code) Concurrency() int {
+	if c.conc <= 0 {
+		return 1
+	}
+	return c.conc
+}
+
+// runJobs executes the row products, fanning out across byte spans when
+// the codec is concurrent and the work is large enough to pay for it.
+func (c *Code) runJobs(jobs []mulJob, size int) {
+	workers := c.Concurrency()
+	if workers > 1 {
+		if total := size * len(jobs); total < minParallelBytes {
+			workers = 1
+		}
+	}
+	if workers <= 1 || len(jobs) == 0 {
+		for i := range jobs {
+			jobs[i].run(0, size)
+		}
+		return
+	}
+
+	spans := (size + spanBytes - 1) / spanBytes
+	if spans < 1 {
+		spans = 1
+	}
+	span := (size + spans - 1) / spans
+	span = (span + spanAlign - 1) &^ (spanAlign - 1)
+	spans = (size + span - 1) / span
+
+	type task struct{ job, lo, hi int }
+	tasks := make([]task, 0, len(jobs)*spans)
+	for j := range jobs {
+		for lo := 0; lo < size; lo += span {
+			hi := lo + span
+			if hi > size {
+				hi = size
+			}
+			tasks = append(tasks, task{j, lo, hi})
+		}
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(tasks) {
+				return
+			}
+			t := tasks[i]
+			jobs[t.job].run(t.lo, t.hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the caller is worker 0
+	wg.Wait()
+}

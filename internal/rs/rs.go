@@ -10,6 +10,24 @@
 //
 // The two configurations the paper evaluates are RS(6,3) (Google Colossus)
 // and RS(10,4) (Facebook's HDFS-RAID/f4).
+//
+// # Performance knobs
+//
+// The codec hot path (Encode, Reconstruct, UpdateParity) is tunable along
+// two axes:
+//
+//   - Kernel selection: the underlying GF(2^8) bulk operations come in a
+//     scalar reference kernel and a vectorized kernel (AVX2 on amd64,
+//     portable elsewhere); see [ecarray/internal/gf.SetKernel]. The scalar
+//     kernel exists for differential testing and baseline measurement.
+//   - Concurrency: [Code.WithConcurrency] returns a codec that shards row
+//     products across output rows and byte spans onto up to n goroutines.
+//     The default codec is serial. Output is byte-identical at any
+//     concurrency level, so simulation results stay deterministic.
+//
+// [MeasureEncodeMBps] measures the configured codec's real encode
+// throughput; internal/core uses it to calibrate its simulated CPU cost
+// per encoded byte.
 package rs
 
 import (
@@ -34,6 +52,7 @@ var (
 type Code struct {
 	k, m int
 	gen  *matrix.Matrix // (k+m)×k systematic generator
+	conc int            // max workers for the hot path; <=1 means serial
 }
 
 // New constructs an RS(k,m) code. k is the number of data chunks, m the
@@ -103,17 +122,22 @@ func (c *Code) checkShards(shards [][]byte, allowNil bool) (size int, err error)
 // hold k+m equally sized slices: the first k contain data, the last m are
 // overwritten with parity.
 func (c *Code) Encode(shards [][]byte) error {
-	if _, err := c.checkShards(shards, false); err != nil {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
 		return err
 	}
-	for p := 0; p < c.m; p++ {
-		row := c.gen.Row(c.k + p)
-		out := shards[c.k+p]
-		gf.MulSlice(row[0], shards[0], out)
-		for d := 1; d < c.k; d++ {
-			gf.MulAddSlice(row[d], shards[d], out)
+	if c.Concurrency() == 1 {
+		// Serial fast path: no per-call job allocation.
+		for p := 0; p < c.m; p++ {
+			mulRow(c.gen.Row(c.k+p), shards[:c.k], shards[c.k+p])
 		}
+		return nil
 	}
+	jobs := make([]mulJob, c.m)
+	for p := 0; p < c.m; p++ {
+		jobs[p] = mulJob{coeffs: c.gen.Row(c.k + p), srcs: shards[:c.k], out: shards[c.k+p]}
+	}
+	c.runJobs(jobs, size)
 	return nil
 }
 
@@ -126,11 +150,7 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 	}
 	buf := make([]byte, size)
 	for p := 0; p < c.m; p++ {
-		row := c.gen.Row(c.k + p)
-		gf.MulSlice(row[0], shards[0], buf)
-		for d := 1; d < c.k; d++ {
-			gf.MulAddSlice(row[d], shards[d], buf)
-		}
+		mulRow(c.gen.Row(c.k+p), shards[:c.k], buf)
 		for i := range buf {
 			if buf[i] != shards[c.k+p][i] {
 				return false, nil
@@ -188,50 +208,33 @@ func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 		src[i] = shards[r]
 	}
 
-	// Rebuild missing data shards: dataRow_i = recover.Row(i) × src.
-	var rebuiltData []int
+	// Rebuild missing data shards: dataRow_i = recover.Row(i) × src. All
+	// missing rows are independent, so they shard across workers together.
+	var dataJobs []mulJob
 	for d := 0; d < c.k; d++ {
 		if shards[d] != nil {
 			continue
 		}
 		out := make([]byte, size)
-		mulRow(recover.Row(d), src, out)
+		dataJobs = append(dataJobs, mulJob{coeffs: recover.Row(d), srcs: src, out: out})
 		shards[d] = out
-		rebuiltData = append(rebuiltData, d)
 	}
-	_ = rebuiltData
+	c.runJobs(dataJobs, size)
 	if dataOnly {
 		return nil
 	}
 	// Rebuild missing parity from the (now complete) data shards.
+	var parityJobs []mulJob
 	for p := 0; p < c.m; p++ {
 		if shards[c.k+p] != nil {
 			continue
 		}
 		out := make([]byte, size)
-		mulRow(c.gen.Row(c.k+p), shards[:c.k], out)
+		parityJobs = append(parityJobs, mulJob{coeffs: c.gen.Row(c.k + p), srcs: shards[:c.k], out: out})
 		shards[c.k+p] = out
 	}
+	c.runJobs(parityJobs, size)
 	return nil
-}
-
-// mulRow computes out = Σ coeffs[i] × src[i].
-func mulRow(coeffs []byte, src [][]byte, out []byte) {
-	first := true
-	for i, cf := range coeffs {
-		if cf == 0 {
-			continue
-		}
-		if first {
-			gf.MulSlice(cf, src[i], out)
-			first = false
-			continue
-		}
-		gf.MulAddSlice(cf, src[i], out)
-	}
-	if first {
-		clear(out)
-	}
 }
 
 // Split partitions data into k equally sized data shards plus m zeroed
@@ -290,14 +293,28 @@ func (c *Code) UpdateParity(dataIdx int, oldData, newData []byte, parity [][]byt
 		return ErrShardSize
 	}
 	delta := make([]byte, len(oldData))
-	for i := range delta {
-		delta[i] = oldData[i] ^ newData[i]
-	}
+	copy(delta, oldData)
+	gf.AddSlice(newData, delta)
 	for p := 0; p < c.m; p++ {
 		if len(parity[p]) != len(delta) {
 			return ErrShardSize
 		}
-		gf.MulAddSlice(c.gen.Row(c.k + p)[dataIdx], delta, parity[p])
 	}
+	if c.Concurrency() == 1 {
+		for p := 0; p < c.m; p++ {
+			gf.MulAddSlice(c.gen.Row(c.k+p)[dataIdx], delta, parity[p])
+		}
+		return nil
+	}
+	jobs := make([]mulJob, c.m)
+	for p := 0; p < c.m; p++ {
+		jobs[p] = mulJob{
+			coeffs:     []byte{c.gen.Row(c.k + p)[dataIdx]},
+			srcs:       [][]byte{delta},
+			out:        parity[p],
+			accumulate: true,
+		}
+	}
+	c.runJobs(jobs, len(delta))
 	return nil
 }
