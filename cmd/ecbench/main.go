@@ -5,7 +5,8 @@
 //
 //	ecbench [-fig all|fig1|fig5|...|fig20] [-scale quick|paper]
 //	        [-duration 8s] [-image 32] [-qd 256] [-csvdir out/]
-//	        [-codec-kernel auto|scalar|vector] [-codec-conc n] [-calibrate]
+//	        [-codec-kernel auto|scalar|avx2|fused|gfni] [-codec-conc n]
+//	        [-calibrate]
 //
 // Scale "paper" runs the full 1KB..128KB sweep with long windows (minutes
 // of wall time); "quick" runs a reduced sweep for fast iteration.
@@ -32,7 +33,8 @@ func main() {
 	imageGiB := flag.Int64("image", 0, "override image size in GiB")
 	qd := flag.Int("qd", 0, "override queue depth")
 	csvdir := flag.String("csvdir", "", "also write each table as CSV into this directory")
-	codecKernel := flag.String("codec-kernel", "auto", "GF kernel for the RS codec: auto, scalar or vector")
+	codecKernel := flag.String("codec-kernel", "auto",
+		"GF kernel tier for the RS codec: auto, scalar, avx2 (alias vector), fused or gfni")
 	codecConc := flag.Int("codec-conc", 0, "max codec worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	calibrate := flag.Bool("calibrate", false, "derive simulated encode cost from the real codec's measured MB/s")
 	flag.Parse()
@@ -64,15 +66,15 @@ func main() {
 		opt.QueueDepth = *qd
 	}
 	opt.CodecConcurrency = *codecConc
+	opt.CodecKernel = *codecKernel
 	opt.CalibrateEncode = *calibrate
 	if *calibrate {
 		workers := opt.CodecConcurrency
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		active := gf.ActiveKernel()
-		fmt.Printf("codec: kernel=%s simd=%v workers=%d (encode cost calibrated from measured MB/s)\n",
-			active, active == gf.KernelVector && gf.Accelerated(), workers)
+		fmt.Printf("codec: kernel=%s (avx2=%v gfni=%v) workers=%d (encode cost calibrated from measured MB/s; tables note the producing kernel)\n",
+			gf.ActiveKernel(), gf.Accelerated(), gf.HasGFNI(), workers)
 	}
 
 	suite, err := bench.NewSuite(opt)

@@ -19,8 +19,21 @@ func AblationIDs() []string {
 	return []string{"stripe-width", "stripe-cache", "wal", "client-cap", "pg-count"}
 }
 
-// RunAblation executes one ablation and returns its table.
+// RunAblation executes one ablation and returns its table. As with
+// figures, calibrated runs stamp the table with the measured-codec
+// provenance note.
 func (s *Suite) RunAblation(id string) (Table, error) {
+	t, err := s.runAblation(id)
+	if err != nil {
+		return Table{}, err
+	}
+	if s.Opt.CalibrateEncode {
+		t.Notes = append(t.Notes, s.CalibrationNotes()...)
+	}
+	return t, nil
+}
+
+func (s *Suite) runAblation(id string) (Table, error) {
 	switch id {
 	case "stripe-width":
 		return s.ablateStripeWidth()
@@ -60,6 +73,7 @@ func (s *Suite) ablationRun(profile core.Profile, mutate func(*core.Config),
 	if s.Opt.Cost != nil {
 		cfg.Cost = *s.Opt.Cost
 	}
+	s.applyCodecConfig(&cfg, profile)
 	if mutate != nil {
 		mutate(&cfg)
 	}

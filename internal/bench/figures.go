@@ -16,9 +16,25 @@ func FigureIDs() []string {
 	}
 }
 
-// RunFigure produces the table(s) reproducing one paper figure, running (or
-// reusing) the suite cells it needs.
+// RunFigure produces the table(s) reproducing one paper figure, running
+// (or reusing) the suite cells it needs. With CalibrateEncode on, every
+// table carries a note naming the measured codec throughput and kernel
+// tier behind its encode costs (propagated into CSV output too).
 func (s *Suite) RunFigure(id string) ([]Table, error) {
+	tables, err := s.runFigure(id)
+	if err != nil {
+		return nil, err
+	}
+	if s.Opt.CalibrateEncode {
+		notes := s.CalibrationNotes()
+		for i := range tables {
+			tables[i].Notes = append(tables[i].Notes, notes...)
+		}
+	}
+	return tables, nil
+}
+
+func (s *Suite) runFigure(id string) ([]Table, error) {
 	switch id {
 	case "fig1":
 		return s.fig1()

@@ -8,9 +8,12 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"ecarray/internal/core"
+	"ecarray/internal/gf"
 	"ecarray/internal/rs"
 	"ecarray/internal/sim"
 	"ecarray/internal/ssd"
@@ -52,10 +55,17 @@ type Options struct {
 	// clusters (0 = GOMAXPROCS, 1 = serial). Metrics are identical at any
 	// setting; only wall-clock time changes.
 	CodecConcurrency int
+	// CodecKernel selects the GF kernel tier ("auto", "scalar", "avx2",
+	// "fused", "gfni"; empty leaves the process-wide selection alone).
+	// Like concurrency, it never changes simulated metrics — only
+	// wall-clock time and, with CalibrateEncode, the measured encode cost.
+	CodecKernel string
 	// CalibrateEncode derives each EC scheme's simulated encode cost from
 	// the measured throughput of the real codec (rs.MeasureEncodeMBps)
 	// instead of the paper-calibrated constant. Measured numbers vary
-	// across machines, so leave this off for reproducible comparisons.
+	// across machines and kernel tiers, so leave this off for reproducible
+	// comparisons; when on, every produced table (and its CSV) carries a
+	// note recording the measured MB/s and the kernel that produced it.
 	CalibrateEncode bool
 }
 
@@ -190,12 +200,22 @@ func (c Cell) FlashWritePerReq() float64 {
 	return float64(c.Metrics.FlashWriteBytes) / float64(c.Bytes)
 }
 
+// calibration records one measured codec throughput and the kernel tier
+// that produced it, so figure notes and CSVs can attribute paper-band
+// comparisons to a concrete codec configuration.
+type calibration struct {
+	k, m    int
+	mbps    float64 // per-parity-row MB/s
+	kernel  string  // gf kernel tier active during the measurement
+	workers int
+}
+
 // Suite runs and caches cells.
 type Suite struct {
 	Opt   Options
 	cells map[Key]Cell
 	ssd   map[Key]Cell // bare-SSD baseline cells (scheme "SSD")
-	mbps  map[[2]int]float64
+	mbps  map[[2]int]calibration
 }
 
 // NewSuite returns an empty suite.
@@ -203,7 +223,14 @@ func NewSuite(opt Options) (*Suite, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}, mbps: map[[2]int]float64{}}, nil
+	if opt.CodecKernel != "" {
+		k, ok := gf.ParseKernel(opt.CodecKernel)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown codec kernel %q", opt.CodecKernel)
+		}
+		gf.SetKernel(k)
+	}
+	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}, mbps: map[[2]int]calibration{}}, nil
 }
 
 // encodeMBps measures (and caches) the real codec's per-parity-row encode
@@ -214,16 +241,62 @@ func NewSuite(opt Options) (*Suite, error) {
 func (s *Suite) encodeMBps(k, m int) float64 {
 	key := [2]int{k, m}
 	if v, ok := s.mbps[key]; ok {
-		return v
+		return v.mbps
 	}
 	code, err := rs.New(k, m)
 	if err != nil {
 		return 0
 	}
+	workers := s.Opt.CodecConcurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	v := rs.MeasureEncodeMBps(code.WithConcurrency(s.Opt.CodecConcurrency), 64<<10, 60*time.Millisecond)
 	v *= float64(m) // data MB/s → per-parity-row MB/s
-	s.mbps[key] = v
+	s.mbps[key] = calibration{k: k, m: m, mbps: v, kernel: gf.ActiveKernel().String(), workers: workers}
 	return v
+}
+
+// CalibrationNotes renders one note line per measured codec, recording the
+// throughput and the kernel tier that produced it (the open ROADMAP item:
+// paper-band comparisons must say which codec generated them). Empty when
+// nothing was calibrated.
+func (s *Suite) CalibrationNotes() []string {
+	if len(s.mbps) == 0 {
+		return nil
+	}
+	keys := make([][2]int, 0, len(s.mbps))
+	for k := range s.mbps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	notes := make([]string, 0, len(keys))
+	for _, key := range keys {
+		c := s.mbps[key]
+		notes = append(notes, fmt.Sprintf(
+			"encode cost calibrated from measured codec: RS(%d,%d) %.0f MB/s per parity row (kernel=%s simd=%v gfni=%v workers=%d)",
+			c.k, c.m, c.mbps, c.kernel, gf.Accelerated(), gf.HasGFNI(), c.workers))
+	}
+	return notes
+}
+
+// applyCodecConfig wires the suite's codec knobs — and, when calibrating
+// an EC profile, the measured encode cost — into a cluster config. Shared
+// by the figure and ablation cluster builders so a new knob cannot reach
+// one and miss the other.
+func (s *Suite) applyCodecConfig(cfg *core.Config, profile core.Profile) {
+	cfg.CodecConcurrency = s.Opt.CodecConcurrency
+	cfg.CodecKernel = s.Opt.CodecKernel
+	if s.Opt.CalibrateEncode && profile.IsEC() {
+		if mbps := s.encodeMBps(profile.K, profile.M); mbps > 0 {
+			cfg.Cost.EncodeMBps = mbps
+		}
+	}
 }
 
 // Cell runs (or returns the cached) cell for the key.
@@ -250,12 +323,7 @@ func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.
 	if s.Opt.Cost != nil {
 		cfg.Cost = *s.Opt.Cost
 	}
-	cfg.CodecConcurrency = s.Opt.CodecConcurrency
-	if s.Opt.CalibrateEncode && scheme.Profile.IsEC() {
-		if mbps := s.encodeMBps(scheme.Profile.K, scheme.Profile.M); mbps > 0 {
-			cfg.Cost.EncodeMBps = mbps
-		}
-	}
+	s.applyCodecConfig(&cfg, scheme.Profile)
 	e := sim.NewEngine()
 	c, err := core.New(e, cfg)
 	if err != nil {

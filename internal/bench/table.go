@@ -55,13 +55,21 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as comma-separated values. Notes (including the
+// calibration provenance added when -calibrate is on) trail the data as
+// "# note:" comment lines, so a CSV consumed later still records which
+// codec kernel produced its numbers.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.Columns, ","))
 	b.WriteByte('\n')
 	for _, row := range t.Rows {
 		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# note: ")
+		b.WriteString(n)
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -9,12 +9,39 @@
 // (0x11d), the conventional choice for storage RS codes (Jerasure, ISA-L).
 // Multiplication uses log/exp tables built at package init.
 //
-// The bulk operations come in two selectable kernels (see Kernel and
-// SetKernel): a per-byte product-table scalar reference, and a vectorized
-// hot path built on split low/high-nibble 16-entry tables — an AVX2
-// shuffle on amd64, a word-at-a-time pure-Go kernel elsewhere. Both are
-// byte-identical; the scalar kernel exists so tests can differentially
-// validate the vector path.
+// # Kernel tiers
+//
+// The bulk operations come in a ladder of selectable kernels (see [Kernel]
+// and [SetKernel]), each byte-identical to the one below it:
+//
+//   - scalar — the per-byte 256-entry product-table reference loop. Exists
+//     so every other tier can be differentially validated against it.
+//   - avx2 — one SIMD kernel call per source shard: split low/high-nibble
+//     16-entry tables drive an AVX2 PSHUFB shuffle on amd64 (a pure-Go
+//     word-at-a-time kernel elsewhere). Each call re-reads and re-writes
+//     dst, so a k-source row product moves dst through the cache k times.
+//   - fused — the multi-source data path behind [MulSources] and
+//     [MulMatrix]: single-row products run in L1-resident blocks (dst is
+//     re-read from cache, not memory, between sources), and row batches —
+//     the encode path — run a 4-row assembly kernel on amd64 that loads
+//     and nibble-splits every source block once for all four rows, keeps
+//     the row accumulators in registers, and writes each output exactly
+//     once (~1.5-1.7× the per-source tier for RS(10,4) encode).
+//   - gfni — the fused kernel on GFNI/AVX-512: GF2P8AFFINEQB multiplies 64
+//     bytes per instruction using per-coefficient 8×8 bit-matrix tables
+//     (see gfniMat), roughly doubling the AVX2 kernel's width.
+//
+// # Detection and forcing a tier
+//
+// KernelAuto resolves to [BestKernel]: gfni when CPUID reports GFNI +
+// AVX512F/BW/VL and the OS saves full ZMM state, fused otherwise. Setting
+// the environment variable ECARRAY_NO_GFNI (to any non-empty value) masks
+// GFNI detection, which CI uses to exercise the AVX2 fused path on GFNI
+// hardware. Building with the purego tag (or on non-amd64) removes all
+// assembly; the fused and gfni tiers then run the portable blocked loop.
+// [SetKernel] can force any tier at runtime — tiers the CPU lacks fall
+// back to the widest supported implementation, so forcing is always safe;
+// cmd/ecbench exposes this as -codec-kernel=scalar|avx2|fused|gfni.
 package gf
 
 // Polynomial is the primitive polynomial used to construct the field,
@@ -138,11 +165,14 @@ func MulSlice(c byte, src, dst []byte) {
 		copy(dst, src)
 		return
 	}
-	if ActiveKernel() == KernelScalar {
+	switch ActiveKernel() {
+	case KernelScalar:
 		mulSliceScalar(c, src, dst)
-		return
+	case KernelGFNI:
+		mulSliceGFNI(c, src, dst)
+	default:
+		mulSliceVector(c, src, dst)
 	}
-	mulSliceVector(c, src, dst)
 }
 
 // MulAddSlice sets dst[i] ^= c*src[i] for every i: the multiply-accumulate
@@ -159,11 +189,14 @@ func MulAddSlice(c byte, src, dst []byte) {
 		AddSlice(src, dst)
 		return
 	}
-	if ActiveKernel() == KernelScalar {
+	switch ActiveKernel() {
+	case KernelScalar:
 		mulAddSliceScalar(c, src, dst)
-		return
+	case KernelGFNI:
+		mulAddSliceGFNI(c, src, dst)
+	default:
+		mulAddSliceVector(c, src, dst)
 	}
-	mulAddSliceVector(c, src, dst)
 }
 
 // AddSlice sets dst[i] ^= src[i] for every i.
@@ -176,6 +209,107 @@ func AddSlice(src, dst []byte) {
 		return
 	}
 	addSliceVector(src, dst)
+}
+
+// MulSources computes the fused row product dst[i] = Σ_s coeffs[s] ×
+// srcs[s][i] — the whole parity-row computation of RS encoding in one
+// call. Zero coefficients skip their source. len(coeffs) must equal
+// len(srcs) and every source must be at least len(dst) long. dst must not
+// overlap any source (sources may alias each other freely; they are only
+// read).
+func MulSources(coeffs []byte, srcs [][]byte, dst []byte) {
+	MulSourcesRange(coeffs, srcs, 0, dst, false)
+}
+
+// MulAddSources is MulSources accumulating into dst: dst[i] ^= Σ_s
+// coeffs[s] × srcs[s][i].
+func MulAddSources(coeffs []byte, srcs [][]byte, dst []byte) {
+	MulSourcesRange(coeffs, srcs, 0, dst, true)
+}
+
+// MulSourcesRange is the windowed form of MulSources the span-sharded
+// codec uses: dst[i] (^)= Σ_s coeffs[s] × srcs[s][off+i] for i in
+// [0, len(dst)). With accumulate set, products XOR into dst's prior
+// content; otherwise dst is fully overwritten (and zeroed when every
+// coefficient is zero). dst must not overlap any srcs[s][off:off+len(dst)]
+// window.
+func MulSourcesRange(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: MulSources coefficient/source count mismatch")
+	}
+	for _, s := range srcs {
+		if len(s) < off+len(dst) {
+			panic("gf: MulSources source shorter than dst window")
+		}
+	}
+	if len(dst) == 0 {
+		return
+	}
+	switch ActiveKernel() {
+	case KernelScalar:
+		mulSourcesScalar(coeffs, srcs, off, dst, accumulate)
+	case KernelAVX2:
+		mulSourcesUnfused(coeffs, srcs, off, dst, accumulate)
+	case KernelGFNI:
+		mulSourcesGFNI(coeffs, srcs, off, dst, accumulate)
+	default:
+		mulSourcesFused(coeffs, srcs, off, dst, accumulate)
+	}
+}
+
+// MulMatrix computes a batch of fused row products: for every row r,
+// dsts[r][i] = Σ_s coeffs[r][s] × srcs[s][i], where the coefficient rows
+// live in mt (see NewMatrixTables). Batching rows is the widest fusion
+// the encode path has: the fused tier loads and nibble-splits every
+// source byte once for four output rows at a time, so an RS(k,4) stripe
+// reads its data shards once instead of once per parity row. dsts must
+// not overlap srcs or each other.
+func MulMatrix(mt *MatrixTables, srcs, dsts [][]byte) {
+	n := 0
+	if len(dsts) > 0 {
+		n = len(dsts[0])
+	}
+	MulMatrixRange(mt, srcs, dsts, 0, n, false)
+}
+
+// MulMatrixRange is the windowed form of MulMatrix the span-sharded codec
+// uses: rows are computed over [off, off+n) of every source and
+// destination. With accumulate set, products XOR into the existing dst
+// window content.
+func MulMatrixRange(mt *MatrixTables, srcs, dsts [][]byte, off, n int, accumulate bool) {
+	if len(srcs) != mt.k {
+		panic("gf: MulMatrix source count mismatch")
+	}
+	if len(dsts) != len(mt.rows) {
+		panic("gf: MulMatrix row count mismatch")
+	}
+	for _, s := range srcs {
+		if len(s) < off+n {
+			panic("gf: MulMatrix source shorter than window")
+		}
+	}
+	for _, d := range dsts {
+		if len(d) < off+n {
+			panic("gf: MulMatrix dst shorter than window")
+		}
+	}
+	if n == 0 {
+		return
+	}
+	switch ActiveKernel() {
+	case KernelScalar:
+		for r := range dsts {
+			mulSourcesScalar(mt.rows[r], srcs, off, dsts[r][off:off+n], accumulate)
+		}
+	case KernelAVX2:
+		for r := range dsts {
+			mulSourcesUnfused(mt.rows[r], srcs, off, dsts[r][off:off+n], accumulate)
+		}
+	case KernelGFNI:
+		mulMatrixGFNI(mt, srcs, dsts, off, n, accumulate)
+	default:
+		mulMatrixFused(mt, srcs, dsts, off, n, accumulate)
+	}
 }
 
 // MulTable returns the 256-entry product table for coefficient c. Callers

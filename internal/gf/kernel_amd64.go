@@ -2,15 +2,28 @@
 
 package gf
 
+import "os"
+
 // AVX2 vector kernels: the split low/high-nibble tables are broadcast into
 // YMM registers and a VPSHUFB per nibble turns multiplication by a fixed
 // coefficient into two 32-lane shuffles plus an XOR — the standard
-// high-throughput GF(2^8) form (Jerasure/ISA-L/klauspost). The assembly
-// handles whole 32-byte blocks; Go code handles the tail.
+// high-throughput GF(2^8) form (Jerasure/ISA-L/klauspost). On top of that
+// sit the fused kernels: a 4-row matrix kernel that loads each source
+// block once for all rows (the encode path), a register-accumulating
+// GFNI multi-source kernel, and GFNI single-source kernels
+// (GF2P8AFFINEQB over ZMM registers, 64 bytes per instruction). The
+// assembly handles whole 32- or 64-byte blocks; Go code handles the
+// tails.
 
 // hasAVX2 gates the SIMD path. Detection needs CPUID *and* an OS that
 // saves YMM state (OSXSAVE + XCR0), exactly like internal/cpu does.
 var hasAVX2 = detectAVX2()
+
+// hasGFNI gates the GFNI/AVX-512 tier: GF2P8AFFINEQB on ZMM registers
+// needs GFNI plus AVX512F (and BW/VL for the surrounding ops), an OS that
+// saves opmask+ZMM state, and no ECARRAY_NO_GFNI override in the
+// environment (the CI kernel-matrix knob).
+var hasGFNI = detectGFNI()
 
 func detectAVX2() bool {
 	maxID, _, _, _ := cpuidex(0, 0)
@@ -30,6 +43,28 @@ func detectAVX2() bool {
 	return ebx7&(1<<5) != 0 // AVX2
 }
 
+func detectGFNI() bool {
+	if !hasAVX2 { // also guarantees OSXSAVE, so XGETBV below is safe
+		return false
+	}
+	if os.Getenv("ECARRAY_NO_GFNI") != "" {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0xe6 != 0xe6 { // XMM, YMM, opmask, ZMM-hi256, hi16-ZMM state
+		return false
+	}
+	_, ebx7, ecx7, _ := cpuidex(7, 0)
+	const (
+		avx512f  = 1 << 16
+		avx512bw = 1 << 30
+		avx512vl = 1 << 31
+		gfni     = 1 << 8
+	)
+	return ebx7&avx512f != 0 && ebx7&avx512bw != 0 && ebx7&avx512vl != 0 &&
+		ecx7&gfni != 0
+}
+
 // cpuidex executes CPUID with the given leaf/subleaf. Implemented in
 // kernel_amd64.s.
 func cpuidex(op, op2 uint32) (eax, ebx, ecx, edx uint32)
@@ -45,6 +80,33 @@ func galMulSliceAVX2(low, high *[16]byte, src, dst []byte)
 // galMulAddSliceAVX2 sets dst[i] ^= c*src[i] over len(src) bytes, which
 // must be a positive multiple of 32.
 func galMulAddSliceAVX2(low, high *[16]byte, src, dst []byte)
+
+// galMulSliceGFNI sets dst[i] = x*src[i] where mat is gfniMat[x], over
+// len(src) bytes, which must be a positive multiple of 64.
+func galMulSliceGFNI(mat uint64, src, dst []byte)
+
+// galMulAddSliceGFNI sets dst[i] ^= x*src[i] where mat is gfniMat[x], over
+// len(src) bytes, which must be a positive multiple of 64.
+func galMulAddSliceGFNI(mat uint64, src, dst []byte)
+
+// galMulSourcesGFNI computes the fused row product over one 256-byte-
+// aligned window: dst[i] (^)= Σ_s coeffs[s]*srcs[s][off+i], one
+// GF2P8AFFINEQB per source per 64-byte sub-block, accumulating in four
+// ZMM registers per 256-byte chunk and writing dst exactly once. len(dst)
+// must be a positive multiple of 256; every source must hold off+len(dst)
+// bytes. Zero coefficients are skipped in the inner loop; if none
+// contribute and accumulate is false, dst is zeroed.
+func galMulSourcesGFNI(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool)
+
+// galMulMatrix4AVX2 computes four fused row products in one pass over the
+// window [off, off+n) of every source: dsts[r][off+i] (^)= Σ_s
+// flatRow_r(s) × srcs[s][off+i] for r in 0..3. Each 32-byte source block
+// is loaded and nibble-split once for all four rows; the four row
+// accumulators live in YMM registers and each dst block is written
+// exactly once. flat is the source-major table buffer from
+// NewMatrixTables (k×4×32 bytes); len(dsts) must be 4, n a positive
+// multiple of 32.
+func galMulMatrix4AVX2(flat []byte, srcs, dsts [][]byte, off, n int, accumulate bool)
 
 func mulSliceVector(c byte, src, dst []byte) {
 	if hasAVX2 {
@@ -68,4 +130,102 @@ func mulAddSliceVector(c byte, src, dst []byte) {
 		return
 	}
 	mulAddSlicePortable(c, src, dst)
+}
+
+func mulSliceGFNI(c byte, src, dst []byte) {
+	if !hasGFNI {
+		mulSliceVector(c, src, dst)
+		return
+	}
+	if n := len(src) &^ 63; n > 0 {
+		galMulSliceGFNI(gfniMat[c], src[:n], dst[:n])
+		src, dst = src[n:], dst[n:]
+	}
+	if len(src) > 0 {
+		mulSliceVector(c, src, dst) // <64-byte tail: AVX2 block + nibble loop
+	}
+}
+
+func mulAddSliceGFNI(c byte, src, dst []byte) {
+	if !hasGFNI {
+		mulAddSliceVector(c, src, dst)
+		return
+	}
+	if n := len(src) &^ 63; n > 0 {
+		galMulAddSliceGFNI(gfniMat[c], src[:n], dst[:n])
+		src, dst = src[n:], dst[n:]
+	}
+	if len(src) > 0 {
+		mulAddSliceVector(c, src, dst)
+	}
+}
+
+// mulSourcesFused is the single-row fused form on AVX2 machines: the
+// L1-blocked loop (mulSourcesPortable → per-source AVX2 kernels over
+// 4 KiB blocks). A register-accumulating AVX2 multi-source kernel was
+// measured against this on RS-shaped inputs and lost: RS shards share a
+// power-of-two stride, so k+1 concurrent mod-4K-congruent streams thrash
+// the L1 sets a register kernel depends on, while the blocked form
+// touches one source stream at a time with dst L1-resident. The
+// register-fused form stays the right shape for GFNI (galMulSourcesGFNI),
+// whose 4× lower ALU cost leaves headroom the set conflicts can't erase,
+// and for the row-batched matrix kernel whose accumulators amortize the
+// source traffic over four rows.
+func mulSourcesFused(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool) {
+	mulSourcesPortable(coeffs, srcs, off, dst, accumulate)
+}
+
+// mulMatrixFused computes row batches with the 4-row matrix kernel: full
+// groups of four rows run in one assembly pass that loads and
+// nibble-splits each source block once, keeps the four row accumulators
+// in registers, and writes each dst once; leftover rows (m mod 4) fall
+// back to the single-row fused form.
+func mulMatrixFused(mt *MatrixTables, srcs, dsts [][]byte, off, n int, accumulate bool) {
+	r, g := 0, 0
+	if hasAVX2 {
+		for r+matrixGroup <= len(dsts) {
+			group := dsts[r : r+matrixGroup]
+			if w := n &^ 31; w > 0 {
+				galMulMatrix4AVX2(mt.flat[g], srcs, group, off, w, accumulate)
+			}
+			if tail := n & 31; tail > 0 {
+				for i, d := range group {
+					mulSourcesUnfused(mt.rows[r+i], srcs, off+(n&^31), d[off+(n&^31):off+n], accumulate)
+				}
+			}
+			r += matrixGroup
+			g++
+		}
+	}
+	for ; r < len(dsts); r++ {
+		mulSourcesFused(mt.rows[r], srcs, off, dsts[r][off:off+n], accumulate)
+	}
+}
+
+// mulMatrixGFNI runs each row through the register-fused GFNI kernel; the
+// affine instruction's width advantage outruns what row batching would
+// add on top.
+func mulMatrixGFNI(mt *MatrixTables, srcs, dsts [][]byte, off, n int, accumulate bool) {
+	if !hasGFNI {
+		mulMatrixFused(mt, srcs, dsts, off, n, accumulate)
+		return
+	}
+	for r := range dsts {
+		mulSourcesGFNI(mt.rows[r], srcs, off, dsts[r][off:off+n], accumulate)
+	}
+}
+
+func mulSourcesGFNI(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool) {
+	if !hasGFNI {
+		mulSourcesFused(coeffs, srcs, off, dst, accumulate)
+		return
+	}
+	if n := len(dst) &^ 255; n > 0 {
+		galMulSourcesGFNI(coeffs, srcs, off, dst[:n], accumulate)
+		off += n
+		dst = dst[n:]
+	}
+	if len(dst) > 0 {
+		mulSourcesUnfused(coeffs, srcs, off, dst, accumulate)
+	}
 }

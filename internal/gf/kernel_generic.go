@@ -2,10 +2,36 @@
 
 package gf
 
-// Non-amd64 (or purego) builds: the vector kernel is the portable pure-Go
-// path. Results are byte-identical to the scalar reference everywhere.
+// Non-amd64 (or purego) builds: every vector tier resolves to the portable
+// pure-Go path. The fused tiers still change the data path — the row
+// product is computed in L1-resident blocks so dst is not re-read once per
+// source. Results are byte-identical to the scalar reference everywhere.
 
-const hasAVX2 = false
+const (
+	hasAVX2 = false
+	hasGFNI = false
+)
 
 func mulSliceVector(c byte, src, dst []byte)    { mulSlicePortable(c, src, dst) }
 func mulAddSliceVector(c byte, src, dst []byte) { mulAddSlicePortable(c, src, dst) }
+
+func mulSliceGFNI(c byte, src, dst []byte)    { mulSlicePortable(c, src, dst) }
+func mulAddSliceGFNI(c byte, src, dst []byte) { mulAddSlicePortable(c, src, dst) }
+
+func mulSourcesFused(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool) {
+	mulSourcesPortable(coeffs, srcs, off, dst, accumulate)
+}
+
+func mulSourcesGFNI(coeffs []byte, srcs [][]byte, off int, dst []byte, accumulate bool) {
+	mulSourcesPortable(coeffs, srcs, off, dst, accumulate)
+}
+
+func mulMatrixFused(mt *MatrixTables, srcs, dsts [][]byte, off, n int, accumulate bool) {
+	for r := range dsts {
+		mulSourcesPortable(mt.rows[r], srcs, off, dsts[r][off:off+n], accumulate)
+	}
+}
+
+func mulMatrixGFNI(mt *MatrixTables, srcs, dsts [][]byte, off, n int, accumulate bool) {
+	mulMatrixFused(mt, srcs, dsts, off, n, accumulate)
+}

@@ -17,7 +17,7 @@ func withKernel(t testing.TB, k Kernel, fn func()) {
 }
 
 func TestKernelNames(t *testing.T) {
-	for _, k := range []Kernel{KernelAuto, KernelScalar, KernelVector} {
+	for _, k := range []Kernel{KernelAuto, KernelScalar, KernelAVX2, KernelFused, KernelGFNI} {
 		got, ok := ParseKernel(k.String())
 		if !ok || got != k {
 			t.Errorf("ParseKernel(%q) = %v, %v", k.String(), got, ok)
@@ -29,13 +29,23 @@ func TestKernelNames(t *testing.T) {
 	if got, ok := ParseKernel(""); !ok || got != KernelAuto {
 		t.Error("empty kernel name must parse as auto")
 	}
+	// The PR-1 name for the per-source tier must keep working.
+	if got, ok := ParseKernel("vector"); !ok || got != KernelAVX2 {
+		t.Error(`"vector" must parse as the avx2 tier`)
+	}
 }
 
 func TestSetKernelResolvesAuto(t *testing.T) {
 	prev := SetKernel(KernelAuto)
 	defer SetKernel(prev)
-	if ActiveKernel() != KernelVector {
-		t.Fatalf("auto must resolve to vector, got %v", ActiveKernel())
+	if ActiveKernel() != BestKernel() {
+		t.Fatalf("auto must resolve to BestKernel %v, got %v", BestKernel(), ActiveKernel())
+	}
+	if HasGFNI() && BestKernel() != KernelGFNI {
+		t.Fatalf("BestKernel = %v on a GFNI machine", BestKernel())
+	}
+	if !HasGFNI() && BestKernel() != KernelFused {
+		t.Fatalf("BestKernel = %v without GFNI, want fused", BestKernel())
 	}
 }
 

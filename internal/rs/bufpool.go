@@ -1,0 +1,53 @@
+package rs
+
+import "sync"
+
+// codecPools holds the recycled scratch state shared by every codec
+// derived from one New call (WithConcurrency copies the Code value but
+// shares the pools pointer, so stream and update scratch is reused across
+// all of them). Pooling keeps the steady-state streaming path at zero
+// allocations per stripe: buffers are acquired once per call, reused for
+// every stripe, and returned on exit.
+type codecPools struct {
+	stripes sync.Pool // *stripeBufs
+	deltas  sync.Pool // *[]byte (UpdateParity delta scratch)
+}
+
+// stripeBufs is one stripe's worth of shard buffers (k+m chunks). All
+// buffers share a capacity, so a pooled set is resized with a reslice when
+// the chunk size fits and reallocated otherwise.
+type stripeBufs struct {
+	shards [][]byte
+}
+
+// getStripe returns a k+m buffer set with chunk-sized shards. Contents are
+// unspecified (pooled buffers hold stale bytes); callers overwrite or
+// explicitly zero what they use.
+func (c *Code) getStripe(chunk int) *stripeBufs {
+	sb, _ := c.pools.stripes.Get().(*stripeBufs)
+	if sb == nil || len(sb.shards) != c.k+c.m || cap(sb.shards[0]) < chunk {
+		sb = &stripeBufs{shards: make([][]byte, c.k+c.m)}
+		for i := range sb.shards {
+			sb.shards[i] = make([]byte, chunk)
+		}
+		return sb
+	}
+	for i := range sb.shards {
+		sb.shards[i] = sb.shards[i][:chunk]
+	}
+	return sb
+}
+
+// putStripe recycles a buffer set obtained from getStripe.
+func (c *Code) putStripe(sb *stripeBufs) { c.pools.stripes.Put(sb) }
+
+// getDelta returns an n-byte scratch buffer with unspecified contents.
+func (c *Code) getDelta(n int) []byte {
+	if p, _ := c.pools.deltas.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// putDelta recycles a scratch buffer obtained from getDelta.
+func (c *Code) putDelta(b []byte) { c.pools.deltas.Put(&b) }

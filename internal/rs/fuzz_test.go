@@ -2,6 +2,7 @@ package rs
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -19,6 +20,88 @@ import (
 // Run `go test -fuzz=FuzzEncodeReconstruct ./internal/rs` to explore; the
 // checked-in corpus under testdata/fuzz covers the (k,m) grid including
 // the paper's RS(6,3) and RS(10,4).
+// FuzzStreamRoundTrip is the streaming round-trip fuzz target:
+// StreamEncode an input-derived payload at an input-derived chunk size,
+// drop an input-derived subset of shard streams, StreamDecode, and
+// require the original bytes back. It also cross-checks the active
+// (fused/GFNI) kernel's shard streams against the scalar reference so a
+// kernel divergence on the streaming path is attributed immediately.
+//
+// Run `go test -fuzz=FuzzStreamRoundTrip ./internal/rs` to explore; the
+// checked-in corpus under testdata/fuzz covers the paper's RS(6,3) and
+// RS(10,4), single-byte chunks, padding tails, and erasure patterns.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte("a"), byte(1), byte(1), byte(1), uint16(0))
+	f.Add([]byte("stream me please"), byte(4), byte(2), byte(7), uint16(1))
+	f.Add(bytes.Repeat([]byte{0x5a}, 1000), byte(6), byte(3), byte(64), uint16(0b101))
+	f.Add(bytes.Repeat([]byte("f4"), 300), byte(10), byte(4), byte(32), uint16(0b10010001))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0}, byte(2), byte(2), byte(3), uint16(0xffff))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, mRaw, chunkRaw byte, lostMask uint16) {
+		k := 1 + int(kRaw)%10
+		m := 1 + int(mRaw)%4
+		chunk := 1 + int(chunkRaw)%300
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		if len(data) > 1<<15 {
+			data = data[:1<<15]
+		}
+		c := MustNew(k, m)
+
+		// Encode under the scalar reference and the active (best) kernel;
+		// every shard stream must match bit for bit.
+		encodeAll := func() [][]byte {
+			bufs := make([]*bytes.Buffer, k+m)
+			ws := make([]io.Writer, k+m)
+			for i := range ws {
+				bufs[i] = &bytes.Buffer{}
+				ws[i] = bufs[i]
+			}
+			n, err := c.StreamEncode(bytes.NewReader(data), ws, chunk)
+			if err != nil {
+				t.Fatalf("RS(%d,%d) chunk=%d: StreamEncode: %v", k, m, chunk, err)
+			}
+			if n != int64(len(data)) {
+				t.Fatalf("StreamEncode consumed %d bytes, want %d", n, len(data))
+			}
+			out := make([][]byte, k+m)
+			for i := range out {
+				out[i] = bufs[i].Bytes()
+			}
+			return out
+		}
+		prev := gf.SetKernel(gf.KernelScalar)
+		ref := encodeAll()
+		gf.SetKernel(gf.KernelAuto)
+		got := encodeAll()
+		gf.SetKernel(prev)
+		for i := range ref {
+			if !bytes.Equal(got[i], ref[i]) {
+				t.Fatalf("RS(%d,%d) chunk=%d: shard stream %d differs between scalar and %v kernels",
+					k, m, chunk, i, gf.BestKernel())
+			}
+		}
+
+		// Drop up to m streams per the mask, then decode what remains.
+		readers := make([]io.Reader, k+m)
+		dropped := 0
+		for i := range readers {
+			if lostMask&(1<<i) != 0 && dropped < m {
+				dropped++
+				continue
+			}
+			readers[i] = bytes.NewReader(ref[i])
+		}
+		var out bytes.Buffer
+		if err := c.StreamDecode(&out, readers, int64(len(data)), chunk); err != nil {
+			t.Fatalf("RS(%d,%d) chunk=%d mask=%b: StreamDecode: %v", k, m, chunk, lostMask, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("RS(%d,%d) chunk=%d mask=%b: payload not recovered", k, m, chunk, lostMask)
+		}
+	})
+}
+
 func FuzzEncodeReconstruct(f *testing.F) {
 	f.Add(byte(1), byte(1), int64(1), []byte("a"))
 	f.Add(byte(2), byte(1), int64(2), []byte("hello rs"))

@@ -23,39 +23,40 @@ const (
 	spanBytes = 32 << 10
 	// minParallelBytes is the smallest total job size worth fanning out.
 	minParallelBytes = 16 << 10
-	// spanAlign keeps span boundaries cache-line aligned so no two workers
-	// write the same line.
-	spanAlign = 64
+	// spanAlign keeps span boundaries aligned to the fused kernels' 256-byte
+	// chunk (and therefore cache lines), so no two workers write the same
+	// line and every span but the last runs entirely inside the fused
+	// assembly.
+	spanAlign = 256
 )
 
-// mulJob is one output row: out = Σ coeffs[i] × srcs[i] (skipping zero
-// coefficients). All srcs and out have the same length. With accumulate
-// set, out holds prior content and the products XOR into it instead of
-// replacing it.
+// mulJob is either one output row — out = Σ coeffs[i] × srcs[i], skipping
+// zero coefficients — or, when mt is set, a row batch: outs[r] = row r of
+// the precomputed coefficient matrix applied to srcs (the encode path,
+// which fuses up to four rows into one pass over the sources). All srcs
+// and outputs have the same length. With accumulate set, outputs hold
+// prior content and the products XOR into them instead of replacing them.
 type mulJob struct {
 	coeffs     []byte
 	srcs       [][]byte
 	out        []byte
 	accumulate bool
+
+	// Row-batched form (used instead of coeffs/out when mt != nil).
+	mt   *gf.MatrixTables
+	outs [][]byte
 }
 
-// run computes the row product over out[lo:hi].
+// run computes the job's products over byte window [lo, hi) with fused
+// multi-source kernel calls: every source is consumed in a single pass
+// and each output is written once (the per-source tiers fall back to one
+// kernel call per source inside gf).
 func (j *mulJob) run(lo, hi int) {
-	first := !j.accumulate
-	for i, cf := range j.coeffs {
-		if cf == 0 {
-			continue
-		}
-		if first {
-			gf.MulSlice(cf, j.srcs[i][lo:hi], j.out[lo:hi])
-			first = false
-			continue
-		}
-		gf.MulAddSlice(cf, j.srcs[i][lo:hi], j.out[lo:hi])
+	if j.mt != nil {
+		gf.MulMatrixRange(j.mt, j.srcs, j.outs, lo, hi-lo, j.accumulate)
+		return
 	}
-	if first {
-		clear(j.out[lo:hi])
-	}
+	gf.MulSourcesRange(j.coeffs, j.srcs, lo, j.out[lo:hi], j.accumulate)
 }
 
 // mulRow computes out = Σ coeffs[i] × src[i] serially (reference path and
@@ -87,12 +88,30 @@ func (c *Code) Concurrency() int {
 	return c.conc
 }
 
+// rows reports how many output rows the job computes (a matrix job is one
+// schedulable unit covering several rows).
+func (j *mulJob) rows() int {
+	if j.mt != nil {
+		return j.mt.Rows()
+	}
+	return 1
+}
+
 // runJobs executes the row products, fanning out across byte spans when
 // the codec is concurrent and the work is large enough to pay for it.
 func (c *Code) runJobs(jobs []mulJob, size int) {
 	workers := c.Concurrency()
+	maxRows := 1
 	if workers > 1 {
-		if total := size * len(jobs); total < minParallelBytes {
+		total := 0
+		for i := range jobs {
+			r := jobs[i].rows()
+			total += size * r
+			if r > maxRows {
+				maxRows = r
+			}
+		}
+		if total < minParallelBytes {
 			workers = 1
 		}
 	}
@@ -103,7 +122,13 @@ func (c *Code) runJobs(jobs []mulJob, size int) {
 		return
 	}
 
-	spans := (size + spanBytes - 1) / spanBytes
+	// Target spanBytes of *work* per task: a row-batched job does maxRows
+	// rows of arithmetic per byte of span, so its spans shrink accordingly.
+	target := spanBytes / maxRows
+	if target < spanAlign {
+		target = spanAlign
+	}
+	spans := (size + target - 1) / target
 	if spans < 1 {
 		spans = 1
 	}

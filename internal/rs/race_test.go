@@ -1,0 +1,8 @@
+//go:build race
+
+package rs
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// intentionally drops puts at random under -race, so allocation-count
+// assertions are skipped there.
+const raceEnabled = true

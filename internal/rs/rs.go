@@ -17,13 +17,21 @@
 // two axes:
 //
 //   - Kernel selection: the underlying GF(2^8) bulk operations come in a
-//     scalar reference kernel and a vectorized kernel (AVX2 on amd64,
-//     portable elsewhere); see [ecarray/internal/gf.SetKernel]. The scalar
-//     kernel exists for differential testing and baseline measurement.
+//     ladder of tiers (scalar reference → per-source AVX2 → fused
+//     multi-source → GFNI/AVX-512; see [ecarray/internal/gf.SetKernel]).
+//     Each parity row is one fused row product: all k data shards are
+//     consumed in a single pass and the row is written once, instead of
+//     re-reading it once per source. The scalar kernel exists for
+//     differential testing and baseline measurement.
 //   - Concurrency: [Code.WithConcurrency] returns a codec that shards row
 //     products across output rows and byte spans onto up to n goroutines.
 //     The default codec is serial. Output is byte-identical at any
 //     concurrency level, so simulation results stay deterministic.
+//
+// StreamEncode/StreamDecode hold their stripe buffers in a pool shared by
+// every codec derived from the same New call, so steady-state streaming
+// on the serial codec allocates nothing per stripe and decodes with a
+// recover matrix inverted once per stream.
 //
 // [MeasureEncodeMBps] measures the configured codec's real encode
 // throughput; internal/core uses it to calibrate its simulated CPU cost
@@ -50,9 +58,11 @@ var (
 // Code is an RS(k,m) encoder/decoder. It is immutable after construction and
 // safe for concurrent use.
 type Code struct {
-	k, m int
-	gen  *matrix.Matrix // (k+m)×k systematic generator
-	conc int            // max workers for the hot path; <=1 means serial
+	k, m  int
+	gen   *matrix.Matrix   // (k+m)×k systematic generator
+	enc   *gf.MatrixTables // kernel-ready parity rows of gen (encode hot path)
+	conc  int              // max workers for the hot path; <=1 means serial
+	pools *codecPools      // shared scratch (stream stripes, update deltas)
 }
 
 // New constructs an RS(k,m) code. k is the number of data chunks, m the
@@ -61,7 +71,18 @@ func New(k, m int) (*Code, error) {
 	if k <= 0 || m <= 0 || k+m > gf.Order {
 		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidRSParams, k, m)
 	}
-	return &Code{k: k, m: m, gen: matrix.Generator(k, m)}, nil
+	gen := matrix.Generator(k, m)
+	parityRows := make([][]byte, m)
+	for p := 0; p < m; p++ {
+		parityRows[p] = gen.Row(k + p)
+	}
+	return &Code{
+		k:     k,
+		m:     m,
+		gen:   gen,
+		enc:   gf.NewMatrixTables(parityRows),
+		pools: &codecPools{},
+	}, nil
 }
 
 // MustNew is New, panicking on error. For the well-known static
@@ -127,17 +148,14 @@ func (c *Code) Encode(shards [][]byte) error {
 		return err
 	}
 	if c.Concurrency() == 1 {
-		// Serial fast path: no per-call job allocation.
-		for p := 0; p < c.m; p++ {
-			mulRow(c.gen.Row(c.k+p), shards[:c.k], shards[c.k+p])
-		}
+		// Serial fast path: one row-batched matrix call, no per-call job
+		// allocation. The precomputed tables make this the widest fusion
+		// available — sources are loaded once for up to four parity rows.
+		gf.MulMatrixRange(c.enc, shards[:c.k], shards[c.k:], 0, size, false)
 		return nil
 	}
-	jobs := make([]mulJob, c.m)
-	for p := 0; p < c.m; p++ {
-		jobs[p] = mulJob{coeffs: c.gen.Row(c.k + p), srcs: shards[:c.k], out: shards[c.k+p]}
-	}
-	c.runJobs(jobs, size)
+	jobs := [1]mulJob{{mt: c.enc, srcs: shards[:c.k], outs: shards[c.k:]}}
+	c.runJobs(jobs[:], size)
 	return nil
 }
 
@@ -176,6 +194,26 @@ func (c *Code) ReconstructData(shards [][]byte) error {
 	return c.reconstruct(shards, true)
 }
 
+// recoverPlan derives the decode plan shared by Reconstruct and the
+// streaming path: invert the generator rows of the k surviving chunks
+// (the rows that were used to compute them — the paper's recover matrix,
+// §II-C Fig 3c) and gather those chunks' buffers as the multiply sources.
+// rows must hold exactly k shard indices in ascending order; bufs[r] is
+// shard r's buffer.
+func (c *Code) recoverPlan(rows []int, bufs [][]byte) (*matrix.Matrix, [][]byte, error) {
+	sub := c.gen.SubMatrix(rows)
+	recover, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; guard anyway.
+		return nil, nil, fmt.Errorf("rs: recover matrix: %w", err)
+	}
+	src := make([][]byte, c.k)
+	for i, r := range rows {
+		src[i] = bufs[r]
+	}
+	return recover, src, nil
+}
+
 func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 	size, err := c.checkShards(shards, true)
 	if err != nil {
@@ -194,18 +232,9 @@ func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 		return fmt.Errorf("%w: %d present, need %d", ErrTooFewShards, len(present), c.k)
 	}
 
-	// Recover matrix: invert the k surviving generator rows (the rows that
-	// were used to compute the surviving chunks), per the paper's Fig 3c.
-	rows := present[:c.k]
-	sub := c.gen.SubMatrix(rows)
-	recover, err := sub.Invert()
+	recover, src, err := c.recoverPlan(present[:c.k], shards)
 	if err != nil {
-		// Cannot happen for an MDS generator; guard anyway.
-		return fmt.Errorf("rs: recover matrix: %w", err)
-	}
-	src := make([][]byte, c.k)
-	for i, r := range rows {
-		src[i] = shards[r]
+		return err
 	}
 
 	// Rebuild missing data shards: dataRow_i = recover.Row(i) × src. All
@@ -292,7 +321,8 @@ func (c *Code) UpdateParity(dataIdx int, oldData, newData []byte, parity [][]byt
 	if len(oldData) != len(newData) || len(oldData) == 0 {
 		return ErrShardSize
 	}
-	delta := make([]byte, len(oldData))
+	delta := c.getDelta(len(oldData))
+	defer c.putDelta(delta)
 	copy(delta, oldData)
 	gf.AddSlice(newData, delta)
 	for p := 0; p < c.m; p++ {

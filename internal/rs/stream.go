@@ -11,6 +11,16 @@ import (
 // downstream archival user consumes the codec through (the paper's
 // warm/cold-storage motivation), complementing the block-oriented API the
 // cluster uses.
+//
+// The steady state is zero-copy, and with the default serial codec
+// zero-allocation per stripe: stripe buffers come from the codec's pool
+// and are reused for every stripe, data chunks are encoded in place (no
+// redundant zeroing — only the padded tail of the final stripe is
+// cleared), and the decode plan (which shard streams to read, and the
+// inverted recover matrix when data shards are missing) is computed once
+// per stream rather than once per stripe. A WithConcurrency codec still
+// pays one small task-list allocation per stripe when a stripe is big
+// enough to fan out (see runJobs).
 
 // ErrShortShard is returned when shard streams end before the recorded
 // payload size is recovered.
@@ -27,23 +37,25 @@ func (c *Code) StreamEncode(src io.Reader, shards []io.Writer, chunkSize int) (i
 	if chunkSize <= 0 {
 		return 0, fmt.Errorf("rs: chunk size must be positive")
 	}
-	bufs := make([][]byte, c.k+c.m)
-	for i := range bufs {
-		bufs[i] = make([]byte, chunkSize)
-	}
+	sb := c.getStripe(chunkSize)
+	defer c.putStripe(sb)
+	bufs := sb.shards
 	var total int64
 	for {
-		// Fill one stripe: k data chunks of chunkSize bytes.
+		// Fill one stripe: k data chunks of chunkSize bytes. io.ReadFull
+		// overwrites the (pooled, stale) buffer completely on the happy
+		// path, so no chunk is zeroed before reading.
 		stripeBytes := 0
 		for d := 0; d < c.k; d++ {
-			clear(bufs[d])
 			n, err := io.ReadFull(src, bufs[d])
 			stripeBytes += n
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				if n == 0 && d == 0 && stripeBytes == 0 {
+				if stripeBytes == 0 {
 					return total, nil // clean end on stripe boundary
 				}
-				// Zero-pad the remaining data chunks and finish the stripe.
+				// Final, partial stripe: zero the padded tail — the unread
+				// remainder of this chunk and the never-read chunks after it.
+				clear(bufs[d][n:])
 				for rest := d + 1; rest < c.k; rest++ {
 					clear(bufs[rest])
 				}
@@ -76,6 +88,47 @@ func (c *Code) flushStripe(bufs [][]byte, shards []io.Writer) error {
 	return nil
 }
 
+// streamPlan is the per-stream decode state, computed once and reused for
+// every stripe: which shard streams to read (the first k live ones), and —
+// when data shards are missing — the inverted recover matrix plus one
+// reusable row-product job per missing data shard.
+type streamPlan struct {
+	read []int    // shard indices read each stripe, ascending, len k
+	jobs []mulJob // one fused row product per missing data shard
+}
+
+func (c *Code) planStreamDecode(shards []io.Reader, bufs [][]byte) (*streamPlan, error) {
+	p := &streamPlan{}
+	for i := 0; i < c.k+c.m && len(p.read) < c.k; i++ {
+		if shards[i] != nil {
+			p.read = append(p.read, i)
+		}
+	}
+	missing := false
+	for d := 0; d < c.k; d++ {
+		if shards[d] == nil {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return p, nil // every data chunk arrives directly; nothing to invert
+	}
+	// Recover matrix for the streams we read — derived once per stream,
+	// not once per stripe.
+	recover, src, err := c.recoverPlan(p.read, bufs)
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		p.jobs = append(p.jobs, mulJob{coeffs: recover.Row(d), srcs: src, out: bufs[d]})
+	}
+	return p, nil
+}
+
 // StreamDecode reconstructs size payload bytes into dst from shard streams.
 // Exactly k+m readers must be passed, with nil entries for lost shards; at
 // least k must be non-nil. chunkSize must match the encoding call.
@@ -95,38 +148,31 @@ func (c *Code) StreamDecode(dst io.Writer, shards []io.Reader, size int64, chunk
 	if present < c.k {
 		return fmt.Errorf("%w: %d shard streams, need %d", ErrTooFewShards, present, c.k)
 	}
-	bufs := make([][]byte, c.k+c.m)
+	sb := c.getStripe(chunkSize)
+	defer c.putStripe(sb)
+	plan, err := c.planStreamDecode(shards, sb.shards)
+	if err != nil {
+		return err
+	}
 	remaining := size
 	for remaining > 0 {
-		for i := range bufs {
-			bufs[i] = nil
-		}
-		got := 0
-		for i, r := range shards {
-			if r == nil {
-				continue
-			}
-			// Read this shard's chunk of the current stripe. Lost shards
-			// stay nil and are reconstructed below.
-			buf := make([]byte, chunkSize)
-			if _, err := io.ReadFull(r, buf); err != nil {
+		for _, i := range plan.read {
+			// Read this shard's chunk of the current stripe into its pooled
+			// buffer. io.ReadFull overwrites it completely, so stale bytes
+			// from the previous stripe never leak.
+			if _, err := io.ReadFull(shards[i], sb.shards[i]); err != nil {
 				return fmt.Errorf("%w: shard %d: %v", ErrShortShard, i, err)
 			}
-			bufs[i] = buf
-			got++
-			if got == c.k {
-				break // k chunks suffice; skip extra reads
-			}
 		}
-		if err := c.ReconstructData(bufs); err != nil {
-			return err
-		}
+		// Rebuild the missing data chunks with the precomputed recover rows;
+		// each job is one fused multi-source pass writing its chunk once.
+		c.runJobs(plan.jobs, chunkSize)
 		for d := 0; d < c.k && remaining > 0; d++ {
 			n := int64(chunkSize)
 			if n > remaining {
 				n = remaining
 			}
-			if _, err := dst.Write(bufs[d][:n]); err != nil {
+			if _, err := dst.Write(sb.shards[d][:n]); err != nil {
 				return err
 			}
 			remaining -= n

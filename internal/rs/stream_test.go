@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -150,6 +151,142 @@ func TestStreamQuickProperty(t *testing.T) {
 	}
 }
 
+// TestStreamEncodePaddedTail checks the tail-only zeroing: a final partial
+// stripe encoded through the (stale) pooled buffers must produce exactly
+// the same shard bytes as a fresh encode of the zero-padded payload.
+func TestStreamEncodePaddedTail(t *testing.T) {
+	c := MustNew(4, 2)
+	const chunk = 512
+	// First stream a large payload to dirty the pooled buffers.
+	dirty := make([]byte, 4*chunk*3)
+	rand.New(rand.NewSource(31)).Read(dirty)
+	ws := make([]io.Writer, 6)
+	for i := range ws {
+		ws[i] = io.Discard
+	}
+	if _, err := c.StreamEncode(bytes.NewReader(dirty), ws, chunk); err != nil {
+		t.Fatal(err)
+	}
+	// Now encode a payload ending mid-chunk; the padding must read as zeros.
+	payload := make([]byte, chunk+100)
+	rand.New(rand.NewSource(32)).Read(payload)
+	bufs := make([]*bytes.Buffer, 6)
+	for i := range ws {
+		bufs[i] = &bytes.Buffer{}
+		ws[i] = bufs[i]
+	}
+	if _, err := c.StreamEncode(bytes.NewReader(payload), ws, chunk); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: block-encode the explicitly zero-padded stripe.
+	want := make([][]byte, 6)
+	for i := range want {
+		want[i] = make([]byte, chunk)
+	}
+	copy(want[0], payload[:chunk])
+	copy(want[1], payload[chunk:])
+	if err := c.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(bufs[i].Bytes(), want[i]) {
+			t.Fatalf("shard %d: pooled-buffer stream encode differs from zero-padded block encode", i)
+		}
+	}
+}
+
+// TestStreamEncodeSteadyStateAllocs is the allocation regression gate:
+// encoding more stripes must not allocate more — the per-call pool
+// acquisition is the only allocating step, so allocations per stripe are
+// zero in steady state.
+func TestStreamEncodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; alloc counts are not stable")
+	}
+	c := MustNew(6, 3)
+	const chunk = 4096
+	ws := make([]io.Writer, 9)
+	for i := range ws {
+		ws[i] = io.Discard
+	}
+	run := func(stripes int) float64 {
+		payload := make([]byte, 6*chunk*stripes)
+		rand.New(rand.NewSource(int64(stripes))).Read(payload)
+		r := bytes.NewReader(payload)
+		return testing.AllocsPerRun(5, func() {
+			r.Reset(payload)
+			if _, err := c.StreamEncode(r, ws, chunk); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(1) // warm the pool
+	few, many := run(4), run(64)
+	if many > few {
+		t.Fatalf("allocations grow with stripe count: %v for 4 stripes, %v for 64 — want 0 allocs/stripe",
+			few, many)
+	}
+}
+
+// TestStreamDecodeSteadyStateAllocs: same gate for the decode side, with
+// erasures — the recover matrix must be inverted once per stream, not per
+// stripe, and stripe buffers must come from the pool.
+func TestStreamDecodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; alloc counts are not stable")
+	}
+	c := MustNew(4, 2)
+	const chunk = 1024
+	encode := func(stripes int) ([][]byte, []byte) {
+		payload := make([]byte, 4*chunk*stripes)
+		rand.New(rand.NewSource(int64(stripes))).Read(payload)
+		bufs := make([]*bytes.Buffer, 6)
+		ws := make([]io.Writer, 6)
+		for i := range ws {
+			bufs[i] = &bytes.Buffer{}
+			ws[i] = bufs[i]
+		}
+		if _, err := c.StreamEncode(bytes.NewReader(payload), ws, chunk); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, 6)
+		for i := range out {
+			out[i] = bufs[i].Bytes()
+		}
+		return out, payload
+	}
+	run := func(stripes int) float64 {
+		shardBytes, payload := encode(stripes)
+		readers := make([]io.Reader, 6)
+		return testing.AllocsPerRun(5, func() {
+			for i := range readers {
+				readers[i] = bytes.NewReader(shardBytes[i])
+			}
+			readers[1] = nil // one data erasure: the recover path runs every stripe
+			readers[4] = nil
+			var sink countingWriter
+			if err := c.StreamDecode(&sink, readers, int64(len(payload)), chunk); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(1)
+	few, many := run(4), run(64)
+	// The per-call cost (plan, readers) is constant; allow it, but nothing
+	// may scale with stripe count.
+	if many > few {
+		t.Fatalf("decode allocations grow with stripe count: %v for 4 stripes, %v for 64", few, many)
+	}
+}
+
+// countingWriter discards bytes without allocating.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
 func BenchmarkStreamEncode(b *testing.B) {
 	c := MustNew(6, 3)
 	payload := make([]byte, 1<<20)
@@ -164,4 +301,39 @@ func BenchmarkStreamEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamEncodeSteadyState is the allocation smoke the CI runs
+// with -benchtime to surface allocs/op (and allocs/stripe as a metric):
+// steady-state streaming must report 0 allocs/stripe.
+func BenchmarkStreamEncodeSteadyState(b *testing.B) {
+	c := MustNew(6, 3)
+	const chunk = 4096
+	const stripes = 64
+	payload := make([]byte, 6*chunk*stripes)
+	rand.New(rand.NewSource(10)).Read(payload)
+	ws := make([]io.Writer, 9)
+	for j := range ws {
+		ws[j] = io.Discard
+	}
+	r := bytes.NewReader(payload)
+	// Warm the buffer pool so the timed loop is pure steady state.
+	if _, err := c.StreamEncode(r, ws, chunk); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	var allocs0, allocs1 runtime.MemStats
+	runtime.ReadMemStats(&allocs0)
+	for i := 0; i < b.N; i++ {
+		r.Reset(payload)
+		if _, err := c.StreamEncode(r, ws, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&allocs1)
+	b.StopTimer()
+	perStripe := float64(allocs1.Mallocs-allocs0.Mallocs) / float64(int64(b.N)*stripes)
+	b.ReportMetric(perStripe, "allocs/stripe")
 }
