@@ -4,9 +4,14 @@
 // Usage:
 //
 //	ecbench [-fig all|fig1|fig5|...|fig20] [-scale quick|paper]
+//	        [-ablations] [-scenarios]
 //	        [-duration 8s] [-image 32] [-qd 256] [-csvdir out/]
 //	        [-codec-kernel auto|scalar|avx2|fused|gfni] [-codec-conc n]
 //	        [-calibrate]
+//
+// -scenarios runs the composed fault experiments (degraded reads across
+// failure and recovery, repair-throttle interference, mixed tenants) built
+// on the Scenario API instead of the single-job figures.
 //
 // Scale "paper" runs the full 1KB..128KB sweep with long windows (minutes
 // of wall time); "quick" runs a reduced sweep for fast iteration.
@@ -28,6 +33,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce (fig1, fig5..fig20, or all)")
 	ablations := flag.Bool("ablations", false, "run the mechanism ablations instead of figures")
+	scenarios := flag.Bool("scenarios", false, "run the composed fault/recovery scenarios instead of figures")
 	scale := flag.String("scale", "quick", "preset: quick or paper")
 	duration := flag.Duration("duration", 0, "override measurement window per run")
 	imageGiB := flag.Int64("image", 0, "override image size in GiB")
@@ -85,6 +91,8 @@ func main() {
 	var tables []bench.Table
 	start := time.Now()
 	switch {
+	case *scenarios:
+		tables, err = suite.RunAllScenarios()
 	case *ablations:
 		tables, err = suite.RunAllAblations()
 	case *fig == "all":

@@ -1,12 +1,19 @@
 // Command ecctl inspects the simulated cluster the way ceph CLI tools
-// inspect a real one: CRUSH placement dumps, object→PG mappings, and
-// per-OSD utilization after a workload.
+// inspect a real one: CRUSH placement dumps, object→PG mappings, per-OSD
+// utilization after a workload, and composed failure scenarios.
 //
 // Usage:
 //
-//	ecctl crush   [-profile 3rep|rs6.3|rs10.4] [-pgs 64]
-//	ecctl map     [-profile ...] -object rbd_data.vol.0000000000000000
-//	ecctl osd-df  [-profile ...] [-duration 1s]
+//	ecctl crush    [-profile 3rep|rs6.3|rs10.4] [-pgs 64]
+//	ecctl map      [-profile ...] -object rbd_data.vol.0000000000000000
+//	ecctl osd-df   [-profile ...] [-duration 1s]
+//	ecctl scenario [-profile ...] [-duration 1s] [-fail 2] [-rate 128]
+//
+// osd-df drives two concurrent tenants (a writer and a reader) through the
+// Scenario API and dumps per-OSD device counters. scenario runs the
+// healthy→degraded→recovering timeline — fail OSDs mid-run, start a
+// throttled recovery — and prints per-phase service metrics plus the
+// cluster event log.
 package main
 
 import (
@@ -28,7 +35,9 @@ func main() {
 	profileName := fs.String("profile", "rs6.3", "pool profile: 3rep, rs6.3, rs10.4")
 	pgs := fs.Int("pgs", 32, "placement groups to show (crush) or configure")
 	object := fs.String("object", "", "object name (map)")
-	duration := fs.Duration("duration", time.Second, "workload length (osd-df)")
+	duration := fs.Duration("duration", time.Second, "workload length (osd-df), phase length (scenario)")
+	failN := fs.Int("fail", 2, "OSDs to fail mid-run (scenario)")
+	rateMiB := fs.Int64("rate", 0, "recovery throttle in MiB/s, 0 = unthrottled (scenario)")
 	fs.Parse(os.Args[2:]) //nolint:errcheck
 
 	profile, err := parseProfile(*profileName)
@@ -64,27 +73,101 @@ func main() {
 		fmt.Printf("object %q\n  pg:      %d\n  acting:  %v (primary osd%d)\n  hosts:   %s\n",
 			*object, pool.PGFor(*object), set, set[0], hostsOf(cluster, set))
 	case "osd-df":
-		img, err := cluster.CreateImage("data", "ecctl", 2<<30)
-		if err != nil {
-			fatal(err)
-		}
-		if _, err := ecarray.RunJob(cluster, img, ecarray.Job{
-			Name: "ecctl", Op: ecarray.OpWrite, Pattern: ecarray.PatternRandom,
-			BlockSize: 16 << 10, QueueDepth: 64, Duration: *duration, Seed: 1,
-		}); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%-6s %-7s %9s %12s %12s %8s %8s\n",
-			"osd", "host", "objects", "dev-written", "dev-read", "flashWA", "erases")
-		for _, osd := range cluster.OSDs() {
-			ds := osd.Store.Device().Stats()
-			fmt.Printf("osd%-3d %-7s %9d %11.1fM %11.1fM %8.2f %8d\n",
-				osd.ID, osd.Node.Name, osd.Store.Objects(),
-				float64(ds.HostWriteBytes)/(1<<20), float64(ds.HostReadBytes)/(1<<20),
-				ds.WriteAmplification(), ds.Erases)
-		}
+		osdDF(cluster, *duration)
+	case "scenario":
+		runScenario(cluster, *duration, *failN, *rateMiB)
 	default:
 		usage()
+	}
+}
+
+// osdDF runs two concurrent tenants through the Scenario API — a random
+// writer and a random reader on separate images — then dumps per-OSD
+// utilization, so the dump reflects a realistically mixed load.
+func osdDF(cluster *ecarray.Cluster, duration time.Duration) {
+	wImg, err := cluster.CreateImage("data", "ecctl-w", 2<<30)
+	if err != nil {
+		fatal(err)
+	}
+	rImg, err := cluster.CreateImage("data", "ecctl-r", 2<<30)
+	if err != nil {
+		fatal(err)
+	}
+	rImg.Prefill()
+	if _, err := ecarray.NewScenario(cluster).
+		AddJob(wImg, ecarray.Job{
+			Name: "writer", Op: ecarray.OpWrite, Pattern: ecarray.PatternRandom,
+			BlockSize: 16 << 10, QueueDepth: 32, Duration: duration, Seed: 1,
+		}).
+		AddJob(rImg, ecarray.Job{
+			Name: "reader", Op: ecarray.OpRead, Pattern: ecarray.PatternRandom,
+			BlockSize: 16 << 10, QueueDepth: 32, Duration: duration, Seed: 2,
+		}).
+		Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-6s %-7s %9s %12s %12s %8s %8s\n",
+		"osd", "host", "objects", "dev-written", "dev-read", "flashWA", "erases")
+	for _, osd := range cluster.OSDs() {
+		ds := osd.Store.Device().Stats()
+		fmt.Printf("osd%-3d %-7s %9d %11.1fM %11.1fM %8.2f %8d\n",
+			osd.ID, osd.Node.Name, osd.Store.Objects(),
+			float64(ds.HostWriteBytes)/(1<<20), float64(ds.HostReadBytes)/(1<<20),
+			ds.WriteAmplification(), ds.Erases)
+	}
+}
+
+// runScenario composes the fault timeline: a foreground reader across
+// healthy/degraded/recovering phases, failN OSDs failing at the first
+// boundary and a (optionally throttled) repair pass at the second.
+func runScenario(cluster *ecarray.Cluster, phase time.Duration, failN int, rateMiB int64) {
+	img, err := cluster.CreateImage("data", "ecctl", 2<<30)
+	if err != nil {
+		fatal(err)
+	}
+	img.Prefill()
+	sc := ecarray.NewScenario(cluster).
+		AddJob(img, ecarray.Job{
+			Name: "fg", Op: ecarray.OpRead, Pattern: ecarray.PatternRandom,
+			BlockSize: 4 << 10, QueueDepth: 64, Duration: 3 * phase, Seed: 1,
+		}).
+		Phase("healthy", phase).
+		Phase("degraded", phase).
+		Phase("recovering", phase).
+		At(2*phase, ecarray.StartRecovery("data"))
+	for i := 0; i < failN; i++ {
+		sc.At(phase, ecarray.FailOSD(i))
+	}
+	if rateMiB > 0 {
+		sc.At(2*phase, ecarray.SetRecoveryRate("data", rateMiB<<20))
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fg := res.Job("fg")
+	fmt.Printf("%-12s %10s %10s %10s %14s\n", "phase", "MB/s", "lat ms", "p99 ms", "privnet/req")
+	for i, pr := range fg.Phases {
+		perReq := 0.0
+		if pr.Bytes > 0 {
+			perReq = float64(res.PhaseMetrics[i].PrivateBytes) / float64(pr.Bytes)
+		}
+		fmt.Printf("%-12s %10.1f %10.2f %10.2f %14.2f\n",
+			res.Phases[i].Name, pr.MBps,
+			float64(pr.MeanLatency)/1e6, float64(pr.P99Latency)/1e6, perReq)
+	}
+	for _, rec := range res.Recoveries {
+		if rec.Err != nil {
+			fatal(rec.Err)
+		}
+		fmt.Printf("recovery: %d PGs, %.1f MiB pulled, %.1f MiB rebuilt, %v simulated\n",
+			rec.Stats.PGsRepaired, float64(rec.Stats.BytesPulled)/(1<<20),
+			float64(rec.Stats.BytesRebuilt)/(1<<20), rec.Stats.DurationSimulated)
+	}
+	fmt.Println("events:")
+	for _, ev := range res.Events {
+		fmt.Printf("  %v\n", ev)
 	}
 }
 
@@ -121,7 +204,7 @@ func parseProfile(s string) (ecarray.Profile, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ecctl crush|map|osd-df [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ecctl crush|map|osd-df|scenario [flags]")
 	os.Exit(2)
 }
 

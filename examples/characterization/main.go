@@ -6,12 +6,15 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"ecarray"
 )
+
+var duration = flag.Duration("duration", 1600*time.Millisecond, "measurement window per run")
 
 type outcome struct {
 	read, write ecarray.Result
@@ -36,11 +39,11 @@ func runScheme(name string, profile ecarray.Profile) outcome {
 		job := ecarray.Job{
 			Name: name, Op: op, Pattern: ecarray.PatternRandom,
 			BlockSize: 4096, QueueDepth: 256,
-			Duration: 1600 * time.Millisecond, Seed: 1,
+			Duration: *duration, Seed: 1,
 		}
 		if prefill {
 			img.Prefill() // reads measure a pre-written image, as in §III
-			job.Ramp = 300 * time.Millisecond
+			job.Ramp = *duration / 5
 		}
 		res, err := ecarray.RunJob(cluster, img, job)
 		if err != nil {
@@ -53,6 +56,7 @@ func runScheme(name string, profile ecarray.Profile) outcome {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("running 4KB random workloads (qd=256): 3-Rep vs RS(10,4) ...")
 	rep := runScheme("3-Rep", ecarray.ProfileReplicated(3))
 	ec := runScheme("RS(10,4)", ecarray.ProfileEC(10, 4))

@@ -1,14 +1,16 @@
-// Failure: demonstrate the repair path the paper's background discusses
-// (§II-C): write data to an RS(6,3) pool, fail up to m=3 OSDs, read the
-// data back through degraded reads — the primary pulls k surviving chunks,
-// builds the recover matrix, and reconstructs the lost shards — and measure
-// the repair traffic this pulls over the private network.
+// Failure: drive the repair path the paper's background discusses (§II-C)
+// through the Scenario API: a foreground read job runs across three phases
+// while OSDs fail mid-run and background recovery rebuilds the lost shards
+// — with every byte really carried, so degraded reads prove the recover
+// matrix works. The per-phase results expose the reconstruction tax and
+// the repair traffic of §IV-E.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"time"
 
 	"ecarray"
 )
@@ -32,97 +34,89 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Write a recognizable payload through the full coding pipeline.
 	payload := make([]byte, 512<<10)
 	for i := range payload {
 		payload[i] = byte(i*31 + 7)
 	}
-
-	run := func(name string, fn func(p *ecarray.Proc)) {
-		cluster.Engine().RunProc(name, fn)
-	}
-
-	run("write", func(p *ecarray.Proc) {
+	cluster.Engine().RunProc("write", func(p *ecarray.Proc) {
 		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
 			log.Fatal(err)
 		}
 	})
+	img.Prefill() // remaining objects initialized for the read job
 	fmt.Printf("wrote %d KiB to RS(6,3) pool\n", len(payload)>>10)
 
-	// Baseline read with all shards healthy.
-	cluster.ResetMetrics()
-	run("healthy-read", func(p *ecarray.Proc) {
-		got, err := img.Read(p, 0, int64(len(payload)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !bytes.Equal(got, payload) {
-			log.Fatal("healthy read mismatch")
-		}
-	})
-	healthy := cluster.Metrics()
-	fmt.Printf("healthy read:  %.1f KiB over private network (RS-concatenation)\n",
-		float64(healthy.PrivateBytes)/1024)
-
 	// Fail three OSDs holding shards of the first object — the maximum
-	// RS(6,3) tolerates.
+	// RS(6,3) tolerates — at the first phase boundary; start recovery at
+	// the second.
 	acting := pool.ActingSet(img.ObjectName(0))
+	const phase = 400 * time.Millisecond
+	sc := ecarray.NewScenario(cluster).
+		AddJob(img, ecarray.Job{
+			Name: "reader", Op: ecarray.OpRead, Pattern: ecarray.PatternRandom,
+			BlockSize: 8 << 10, QueueDepth: 16, Duration: 3 * phase, Seed: 1,
+		}).
+		Phase("healthy", phase).
+		Phase("degraded", phase).
+		Phase("recovering", phase).
+		At(2*phase, ecarray.StartRecovery("data"))
 	for _, osd := range acting[:3] {
-		cluster.MarkOSDOut(osd)
-		fmt.Printf("failed osd%d (host %s)\n", osd, cluster.OSDs()[osd].Node.Name)
+		sc.At(phase, ecarray.FailOSD(osd))
+	}
+	res, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	cluster.ResetMetrics()
-	run("degraded-read", func(p *ecarray.Proc) {
-		got, err := img.Read(p, 0, int64(len(payload)))
-		if err != nil {
-			log.Fatal(err)
+	reader := res.Job("reader")
+	if reader.Result.Errors != 0 {
+		log.Fatalf("reads failed: %d errors", reader.Result.Errors)
+	}
+	fmt.Printf("\n%-12s %10s %10s %14s\n", "phase", "MB/s", "lat ms", "privnet/req")
+	for i, pr := range reader.Phases {
+		perReq := 0.0
+		if pr.Bytes > 0 {
+			perReq = float64(res.PhaseMetrics[i].PrivateBytes) / float64(pr.Bytes)
 		}
-		if !bytes.Equal(got, payload) {
-			log.Fatal("degraded read mismatch: reconstruction failed")
+		fmt.Printf("%-12s %10.1f %10.2f %14.2f\n",
+			res.Phases[i].Name, pr.MBps, float64(pr.MeanLatency)/1e6, perReq)
+	}
+	fmt.Println("\nan EC read always pulls k chunks, so online reads already pay repair-like")
+	fmt.Println("traffic (the paper's RS-concatenation observation); failed OSDs add the")
+	fmt.Println("recover-matrix reconstruction, and the recovery phase stacks repair pulls on top")
+
+	for _, rec := range res.Recoveries {
+		if rec.Err != nil {
+			log.Fatal(rec.Err)
 		}
-	})
-	degraded := cluster.Metrics()
-	fmt.Printf("degraded read: data verified after reconstructing %d lost shards\n", 3)
-	fmt.Printf("               %.1f KiB over private network (repair traffic)\n",
-		float64(degraded.PrivateBytes)/1024)
-	if healthy.PrivateBytes > 0 {
-		fmt.Printf("               %.2fx the healthy read's traffic: an EC read always pulls\n"+
-			"               k chunks, so online reads already pay repair-like traffic\n"+
-			"               (the paper's RS-concatenation observation); a replicated read\n"+
-			"               would have used the private network for none of this\n",
-			float64(degraded.PrivateBytes)/float64(healthy.PrivateBytes))
+		fmt.Printf("\nrecovery: repaired %d PGs, rebuilt %d shards (%.1f MiB) in %v simulated\n",
+			rec.Stats.PGsRepaired, rec.Stats.ShardsRebuilt,
+			float64(rec.Stats.BytesRebuilt)/(1<<20), rec.Stats.DurationSimulated)
+		fmt.Printf("          pulled %.1f MiB to rebuild %.1f MiB — the paper's k-fold repair traffic\n",
+			float64(rec.Stats.BytesPulled)/(1<<20), float64(rec.Stats.BytesRebuilt)/(1<<20))
 	}
 
-	// Background recovery: rebuild the lost shards onto replacement OSDs
-	// chosen by CRUSH, restoring full redundancy.
-	cluster.ResetMetrics()
-	var st ecarray.RecoveryStats
-	run("recover", func(p *ecarray.Proc) {
-		var rerr error
-		st, rerr = pool.Recover(p)
-		if rerr != nil {
-			log.Fatal(rerr)
-		}
-	})
-	fmt.Printf("recovery:      repaired %d PGs, rebuilt %d shards (%.1f MiB) in %v simulated\n",
-		st.PGsRepaired, st.ShardsRebuilt, float64(st.BytesRebuilt)/(1<<20), st.DurationSimulated)
-	fmt.Printf("               pulled %.1f MiB to rebuild %.1f MiB — the paper's k-fold repair traffic\n",
-		float64(st.BytesPulled)/(1<<20), float64(st.BytesRebuilt)/(1<<20))
+	fmt.Println("\nevent log:")
+	for _, ev := range res.Events {
+		fmt.Printf("  %v\n", ev)
+	}
 
-	run("verify-after-recovery", func(p *ecarray.Proc) {
+	// The payload must read back intact on the recovered layout.
+	cluster.Engine().RunProc("verify", func(p *ecarray.Proc) {
 		got, err := img.Read(p, 0, int64(len(payload)))
 		if err != nil || !bytes.Equal(got, payload) {
 			log.Fatal("post-recovery verification failed")
 		}
 	})
-	fmt.Println("               data verified on the recovered layout")
+	fmt.Println("\ndata verified on the recovered layout")
 
 	// A further m+1 failures exceed the restored tolerance: reads refuse.
 	acting = pool.ActingSet(img.ObjectName(0))
 	for _, osd := range acting[:4] {
 		cluster.MarkOSDOut(osd)
 	}
-	run("too-degraded", func(p *ecarray.Proc) {
+	cluster.Engine().RunProc("too-degraded", func(p *ecarray.Proc) {
 		if _, err := img.Read(p, 0, 4096); err != nil {
 			fmt.Printf("m+1 failures: read correctly refused (%v)\n", err)
 		} else {

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ecarray/internal/core"
+	"ecarray/internal/workload"
+)
+
+// Scenario experiments: the combination effects the paper discusses but a
+// single closed-loop job cannot express — degraded reads while recovery
+// runs (§IV-E), repair traffic throttling against foreground service, and
+// mixed tenants across pools. All of them are built on the workload
+// package's Scenario API, so they inherit its determinism: the same suite
+// options produce byte-identical tables.
+//
+// ScenarioIDs lists the available experiments.
+func ScenarioIDs() []string {
+	return []string{"degraded-read", "recovery-interference", "mixed-tenants"}
+}
+
+// RunScenario executes one scenario experiment and returns its table. As
+// with figures, calibrated runs stamp the table with the measured-codec
+// provenance note.
+func (s *Suite) RunScenario(id string) (Table, error) {
+	t, err := s.runScenario(id)
+	if err != nil {
+		return Table{}, err
+	}
+	if s.Opt.CalibrateEncode {
+		t.Notes = append(t.Notes, s.CalibrationNotes()...)
+	}
+	return t, nil
+}
+
+func (s *Suite) runScenario(id string) (Table, error) {
+	switch id {
+	case "degraded-read":
+		return s.scenarioDegradedRead()
+	case "recovery-interference":
+		return s.scenarioRecoveryInterference()
+	case "mixed-tenants":
+		return s.scenarioMixedTenants()
+	}
+	return Table{}, fmt.Errorf("bench: unknown scenario %q", id)
+}
+
+// RunAllScenarios executes every scenario experiment.
+func (s *Suite) RunAllScenarios() ([]Table, error) {
+	var out []Table
+	for _, id := range ScenarioIDs() {
+		t, err := s.RunScenario(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// scenarioPhase splits the suite duration into the three-phase timeline
+// (healthy → degraded → recovering) the fault scenarios share.
+func (s *Suite) scenarioPhase() time.Duration {
+	ph := s.Opt.Duration / 3
+	if ph < 50*time.Millisecond {
+		ph = 50 * time.Millisecond
+	}
+	return ph
+}
+
+// failureScenario builds the shared shape: a foreground random-read job on
+// a prefilled RS(6,3) image, two OSDs failing at the first phase boundary,
+// recovery starting at the second. rate > 0 throttles the repair pass.
+func (s *Suite) failureScenario(salt int64, rate int64) (*workload.ScenarioResult, error) {
+	sc := Scheme{"RS(6,3)", core.ProfileEC(6, 3)}
+	c, img, err := s.clusterFor(sc, salt)
+	if err != nil {
+		return nil, err
+	}
+	img.Prefill()
+	ph := s.scenarioPhase()
+	b := workload.NewScenario(c).
+		AddJob(img, workload.Job{
+			Name: "fg", Op: workload.Read, Pattern: workload.Random,
+			BlockSize: 4 << 10, QueueDepth: s.Opt.QueueDepth,
+			Duration: 3 * ph, Seed: s.Opt.Seed,
+		}).
+		Phase("healthy", ph).
+		Phase("degraded", ph).
+		Phase("recovering", ph).
+		At(ph, workload.FailOSD(0)).
+		At(ph, workload.FailOSD(7)).
+		At(2*ph, workload.StartRecovery("data"))
+	if rate > 0 {
+		b.At(2*ph, workload.SetRecoveryRate("data", rate))
+	}
+	res, err := b.Run()
+	if err != nil {
+		return nil, err
+	}
+	c.Engine().Drain()
+	return res, nil
+}
+
+// scenarioDegradedRead reproduces the §IV-E observation: EC reads already
+// pay reconstruction-shaped costs online, so failing OSDs moves every
+// per-request metric — latency up, device reads and private traffic per
+// byte up — and overlapping recovery stacks repair traffic on top.
+func (s *Suite) scenarioDegradedRead() (Table, error) {
+	res, err := s.failureScenario(41, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	fg := res.Job("fg")
+	t := Table{
+		ID:    "scenario-degraded-read",
+		Title: "Degraded 4KB random reads across failure and recovery, RS(6,3) (paper §IV-E)",
+		Columns: []string{"phase", "MB/s", "lat ms", "p99 ms",
+			"dev-read/req", "privnet/req"},
+	}
+	for i, pr := range fg.Phases {
+		m := res.PhaseMetrics[i]
+		devPerReq, netPerReq := 0.0, 0.0
+		if pr.Bytes > 0 {
+			devPerReq = float64(m.DeviceReadBytes) / float64(pr.Bytes)
+			netPerReq = float64(m.PrivateBytes) / float64(pr.Bytes)
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Phases[i].Name, f1(pr.MBps), f2(ms(pr.MeanLatency)), f2(ms(pr.P99Latency)),
+			f2(devPerReq), f2(netPerReq),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"degraded reads reconstruct from k surviving chunks; the recovering phase adds repair pulls on top",
+		fmt.Sprintf("%d cluster events logged; recovery moved %.1f MiB",
+			len(res.Events), movedMiB(res)))
+	return t, nil
+}
+
+// scenarioRecoveryInterference sweeps the recovery throttle: unthrottled
+// repair finishes fastest but collapses foreground throughput; capping the
+// repair rate trades recovery time for service quality — the operational
+// knob Ceph tunes for exactly this contention.
+func (s *Suite) scenarioRecoveryInterference() (Table, error) {
+	t := Table{
+		ID:    "scenario-recovery-interference",
+		Title: "Foreground 4KB random reads vs background repair rate, RS(6,3)",
+		Columns: []string{"recovery rate", "healthy MB/s", "degraded MB/s",
+			"recovering MB/s", "repair time", "repair MiB"},
+	}
+	// One fixed salt for every row: the simulator is deterministic, so the
+	// healthy/degraded baselines stay identical and only the swept rate
+	// moves the recovering column.
+	for _, rate := range []int64{0, 256 << 20, 64 << 20} {
+		res, err := s.failureScenario(43, rate)
+		if err != nil {
+			return Table{}, err
+		}
+		fg := res.Job("fg")
+		label := "unthrottled"
+		if rate > 0 {
+			label = fmt.Sprintf("%d MiB/s", rate>>20)
+		}
+		repair := "-"
+		if len(res.Recoveries) > 0 {
+			repair = res.Recoveries[0].Stats.DurationSimulated.Round(time.Millisecond).String()
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			f1(fg.Phases[0].MBps), f1(fg.Phases[1].MBps), f1(fg.Phases[2].MBps),
+			repair, f1(movedMiB(res)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"unthrottled repair competes with foreground reads for OSDs and the private network; a cap restores service at the cost of a longer repair window")
+	return t, nil
+}
+
+// scenarioMixedTenants runs a replicated tenant and an EC tenant against
+// the same cluster concurrently: the paper's scheme comparison, but
+// sharing hardware instead of measured back to back.
+func (s *Suite) scenarioMixedTenants() (Table, error) {
+	sc := Scheme{"3-Rep", core.ProfileReplicated(3)}
+	c, repImg, err := s.clusterFor(sc, 47)
+	if err != nil {
+		return Table{}, err
+	}
+	if _, err := c.CreatePool("ec", core.ProfileEC(6, 3)); err != nil {
+		return Table{}, err
+	}
+	ecImg, err := c.CreateImage("ec", "tenant-ec", s.Opt.ImageSize)
+	if err != nil {
+		return Table{}, err
+	}
+	repImg.Prefill()
+	ecImg.Prefill()
+	res, err := workload.NewScenario(c).
+		AddJob(repImg, workload.Job{
+			Name: "rep-tenant", Op: workload.Mixed, MixRead: 70, Pattern: workload.Random,
+			BlockSize: 4 << 10, QueueDepth: s.Opt.QueueDepth / 2,
+			Duration: s.Opt.Duration, Seed: s.Opt.Seed,
+		}).
+		AddJob(ecImg, workload.Job{
+			Name: "ec-tenant", Op: workload.Mixed, MixRead: 70, Pattern: workload.Random,
+			BlockSize: 4 << 10, QueueDepth: s.Opt.QueueDepth / 2,
+			Duration: s.Opt.Duration, Seed: s.Opt.Seed + 1,
+		}).
+		Run()
+	if err != nil {
+		return Table{}, err
+	}
+	c.Engine().Drain()
+	t := Table{
+		ID:      "scenario-mixed-tenants",
+		Title:   "Mixed tenants sharing one cluster: 3-Rep vs RS(6,3), 70/30 4KB random",
+		Columns: []string{"tenant", "MB/s", "IOPS", "lat ms", "p99 ms", "read ops", "write ops"},
+	}
+	for _, name := range []string{"rep-tenant", "ec-tenant"} {
+		jr := res.Job(name)
+		t.Rows = append(t.Rows, []string{
+			name, f1(jr.Result.MBps), fmt.Sprintf("%.0f", jr.Result.IOPS),
+			f2(ms(jr.Result.MeanLatency)), f2(ms(jr.Result.P99Latency)),
+			fmt.Sprint(jr.Result.ReadOps), fmt.Sprint(jr.Result.WriteOps),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"both tenants contend for the same OSDs, cores and networks; EC's per-request fan-out taxes the replicated tenant too")
+	return t, nil
+}
+
+// movedMiB totals the repair bytes moved across a result's recoveries.
+func movedMiB(res *workload.ScenarioResult) float64 {
+	var b int64
+	for _, r := range res.Recoveries {
+		b += r.Stats.BytesPulled + r.Stats.BytesRebuilt
+	}
+	return float64(b) / (1 << 20)
+}

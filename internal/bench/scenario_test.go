@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestScenarioIDsCovered(t *testing.T) {
+	s := tinySuite(t)
+	for _, id := range ScenarioIDs() {
+		tb, err := s.RunScenario(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+	}
+	if _, err := s.RunScenario("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestDegradedReadScenarioShowsTax: the degraded and recovering phases
+// must cost more private-network bytes per requested byte than the healthy
+// phase — the §IV-E effect the scenario exists to expose.
+func TestDegradedReadScenarioShowsTax(t *testing.T) {
+	s := tinySuite(t)
+	tb, err := s.RunScenario("degraded-read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 phases", len(tb.Rows))
+	}
+	col := func(row int, name string) float64 {
+		for i, c := range tb.Columns {
+			if c == name {
+				v, err := strconv.ParseFloat(tb.Rows[row][i], 64)
+				if err != nil {
+					t.Fatalf("row %d col %s: %v", row, name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %s", name)
+		return 0
+	}
+	healthyNet := col(0, "privnet/req")
+	degradedNet := col(1, "privnet/req")
+	recoveringNet := col(2, "privnet/req")
+	if degradedNet <= healthyNet {
+		t.Fatalf("degraded privnet/req %.2f not above healthy %.2f", degradedNet, healthyNet)
+	}
+	if recoveringNet <= healthyNet {
+		t.Fatalf("recovering privnet/req %.2f not above healthy %.2f", recoveringNet, healthyNet)
+	}
+	if col(0, "MB/s") <= 0 {
+		t.Fatal("healthy phase idle")
+	}
+}
+
+// TestRecoveryInterferenceThrottle: the throttled repair row must take
+// longer than the unthrottled one.
+func TestRecoveryInterferenceThrottle(t *testing.T) {
+	s := tinySuite(t)
+	tb, err := s.RunScenario("recovery-interference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 rates", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "unthrottled" {
+		t.Fatalf("first row = %v", tb.Rows[0])
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-2] == "-" {
+			t.Fatalf("recovery never ran: %v", row)
+		}
+	}
+}
+
+// TestScenarioTablesDeterministic: scenario tables are rendered from the
+// deterministic runner, so two fresh suites must agree cell for cell.
+func TestScenarioTablesDeterministic(t *testing.T) {
+	a, err := tinySuite(t).RunScenario("degraded-read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tinySuite(t).RunScenario("degraded-read")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatalf("scenario table not deterministic:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}

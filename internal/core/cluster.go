@@ -60,6 +60,7 @@ type Cluster struct {
 
 	imageQueue  *sim.Resource // client librbd dispatch serialization
 	metricsFrom sim.Time
+	eventHook   func(ClusterEvent)
 }
 
 // New builds a cluster per the config and starts its background daemons
@@ -184,6 +185,7 @@ func (c *Cluster) MarkOSDOut(id int) {
 	for _, pl := range c.pools {
 		pl.osdOut(id)
 	}
+	c.emitEvent("osd-out", fmt.Sprintf("osd%d (host %s)", id, c.osds[id].Node.Name))
 }
 
 // MarkOSDIn restores a failed OSD to placement. Shard contents are not
@@ -195,6 +197,7 @@ func (c *Cluster) MarkOSDIn(id int) {
 	for _, pl := range c.pools {
 		pl.osdIn(id)
 	}
+	c.emitEvent("osd-in", fmt.Sprintf("osd%d (host %s)", id, c.osds[id].Node.Name))
 }
 
 // CreatePool creates a pool with the given fault-tolerance profile and maps

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ClusterEvent is one cluster-state transition: an OSD leaving or rejoining
+// placement, a recovery pass starting or finishing, or a recovery-throttle
+// change. The workload layer's Scenario runner subscribes to these to build
+// the merged event log of a run; tools can subscribe for live tracing.
+type ClusterEvent struct {
+	// Time is the virtual time of the event, as an offset from simulation
+	// start.
+	Time time.Duration
+	// Kind classifies the event: "osd-out", "osd-in", "recovery-start",
+	// "recovery-done", "recovery-rate".
+	Kind string
+	// Detail is a human-readable payload ("osd3", "pool data: 12 PGs ...").
+	Detail string
+}
+
+// String renders the event as a log line.
+func (ev ClusterEvent) String() string {
+	return fmt.Sprintf("%12v %-14s %s", ev.Time, ev.Kind, ev.Detail)
+}
+
+// SetEventHook installs fn to observe cluster-state transitions. Only one
+// hook is active at a time; nil removes it. The hook runs synchronously in
+// engine context and must not block.
+func (c *Cluster) SetEventHook(fn func(ClusterEvent)) { c.eventHook = fn }
+
+// emitEvent delivers a ClusterEvent to the installed hook, if any.
+func (c *Cluster) emitEvent(kind, detail string) {
+	if c.eventHook != nil {
+		c.eventHook(ClusterEvent{Time: time.Duration(c.e.Now()), Kind: kind, Detail: detail})
+	}
+}

@@ -85,6 +85,58 @@ func (c *Cluster) Metrics() Metrics {
 	return m
 }
 
+// Since returns the counters accumulated between the prev snapshot and m,
+// both taken from the same cluster with no ResetMetrics call in between.
+// Counter fields subtract (clamped at zero, absorbing a reset that did slip
+// between the snapshots); the CPU fractions are recomputed over the delta
+// window so a phase's UserCPU/KernelCPU mean the same thing as a whole-run
+// snapshot's. This is the per-phase metrics windowing the Scenario runner
+// uses: snapshot at each phase boundary, Since between neighbours.
+func (m Metrics) Since(prev Metrics) Metrics {
+	pos := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	d := Metrics{
+		WindowSeconds:    m.WindowSeconds - prev.WindowSeconds,
+		ContextSwitches:  pos(m.ContextSwitches - prev.ContextSwitches),
+		PublicBytes:      pos(m.PublicBytes - prev.PublicBytes),
+		PrivateBytes:     pos(m.PrivateBytes - prev.PrivateBytes),
+		PrivateMessages:  pos(m.PrivateMessages - prev.PrivateMessages),
+		DeviceReadBytes:  pos(m.DeviceReadBytes - prev.DeviceReadBytes),
+		DeviceWriteBytes: pos(m.DeviceWriteBytes - prev.DeviceWriteBytes),
+		DeviceReadOps:    pos(m.DeviceReadOps - prev.DeviceReadOps),
+		DeviceWriteOps:   pos(m.DeviceWriteOps - prev.DeviceWriteOps),
+		FlashReadBytes:   pos(m.FlashReadBytes - prev.FlashReadBytes),
+		FlashWriteBytes:  pos(m.FlashWriteBytes - prev.FlashWriteBytes),
+		GCMigratedPages:  pos(m.GCMigratedPages - prev.GCMigratedPages),
+		Erases:           pos(m.Erases - prev.Erases),
+		WALBytes:         pos(m.WALBytes - prev.WALBytes),
+		MetaBytes:        pos(m.MetaBytes - prev.MetaBytes),
+		RMWReads:         pos(m.RMWReads - prev.RMWReads),
+		CacheHits:        pos(m.CacheHits - prev.CacheHits),
+		CacheMisses:      pos(m.CacheMisses - prev.CacheMisses),
+		Objects:          m.Objects, // a gauge, not a counter: report the latest
+	}
+	if d.WindowSeconds <= 0 {
+		d.WindowSeconds = 0
+		return d
+	}
+	// Busy fractions weighted back to busy-seconds and re-normalized over
+	// the delta window (the total-cores factor cancels).
+	userSec := m.UserCPU*m.WindowSeconds - prev.UserCPU*prev.WindowSeconds
+	kernSec := m.KernelCPU*m.WindowSeconds - prev.KernelCPU*prev.WindowSeconds
+	if userSec > 0 {
+		d.UserCPU = userSec / d.WindowSeconds
+	}
+	if kernSec > 0 {
+		d.KernelCPU = kernSec / d.WindowSeconds
+	}
+	return d
+}
+
 // ResetMetrics starts a new measurement window: CPU accounting, network
 // counters and device/store counters are zeroed. Workloads call this after
 // their ramp-up phase, as FIO does.

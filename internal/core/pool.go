@@ -17,6 +17,11 @@ type Pool struct {
 	code    *rs.Code // nil for replicated pools
 	c       *Cluster
 	pgs     []*PG
+
+	// recoveryRate caps background repair bandwidth in bytes/second of
+	// moved data (pulled + rebuilt); 0 means unthrottled. See
+	// SetRecoveryRate.
+	recoveryRate int64
 }
 
 // PG is a placement group: the unit of ordering, locking and placement.

@@ -22,15 +22,65 @@ type RecoveryStats struct {
 	DurationSimulated time.Duration
 }
 
+// SetRecoveryRate caps background repair bandwidth at bytesPerSec of moved
+// bytes (pulled from survivors plus rebuilt onto replacements); 0 removes
+// the cap. A running Recover pass picks the change up at its next object —
+// this is the knob Ceph exposes as osd_recovery_max_active/backfill
+// throttling, and the Scenario API drives it mid-run to trade repair time
+// against foreground interference (§IV-E).
+func (pl *Pool) SetRecoveryRate(bytesPerSec int64) {
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	pl.recoveryRate = bytesPerSec
+	pl.c.emitEvent("recovery-rate", fmt.Sprintf("pool %s: %d B/s (0 = unthrottled)", pl.name, bytesPerSec))
+}
+
+// RecoveryRate returns the current repair bandwidth cap (0 = unthrottled).
+func (pl *Pool) RecoveryRate() int64 { return pl.recoveryRate }
+
+// paceState meters one Recover pass against the pool's recovery rate. The
+// reference point rebases whenever the rate changes mid-pass, so a new cap
+// applies from the change onward instead of retroactively charging (or
+// crediting) bytes moved under the old regime.
+type paceState struct {
+	rate     int64
+	refTime  sim.Time
+	refMoved int64
+}
+
+// pace throttles the recovery process: sleep long enough that the bytes
+// moved since the pace reference stay at or under the pool's recovery
+// rate.
+func (pl *Pool) pace(p *sim.Proc, ps *paceState, st *RecoveryStats) {
+	moved := st.BytesPulled + st.BytesRebuilt
+	if pl.recoveryRate != ps.rate {
+		ps.rate = pl.recoveryRate
+		ps.refTime = p.Now()
+		ps.refMoved = moved
+		return
+	}
+	if ps.rate <= 0 {
+		return
+	}
+	minElapsed := time.Duration(float64(moved-ps.refMoved) / float64(ps.rate) * 1e9)
+	if elapsed := time.Duration(p.Now() - ps.refTime); elapsed < minElapsed {
+		p.Sleep(minElapsed - elapsed)
+	}
+}
+
 // Recover rebuilds every missing shard/replica in the pool onto replacement
 // OSDs chosen by CRUSH from the surviving devices, running as simulation
 // process p. EC shards are reconstructed by pulling k surviving shards and
 // applying the recover matrix; replicated objects are copied from a
 // surviving replica. After a successful pass the pool serves reads without
-// degraded-path reconstruction.
+// degraded-path reconstruction. When a recovery rate is set
+// (SetRecoveryRate) the pass paces itself object by object.
 func (pl *Pool) Recover(p *sim.Proc) (RecoveryStats, error) {
 	start := p.Now()
+	pl.c.emitEvent("recovery-start", fmt.Sprintf("pool %s: %d degraded PGs", pl.name, pl.Degraded()))
 	var st RecoveryStats
+	ps := paceState{rate: pl.recoveryRate, refTime: start}
 	for pgid, pg := range pl.pgs {
 		missing := missingPositions(pg)
 		if len(missing) == 0 {
@@ -40,17 +90,20 @@ func (pl *Pool) Recover(p *sim.Proc) (RecoveryStats, error) {
 			return st, err
 		}
 		if pl.profile.IsEC() {
-			if err := pl.recoverECPG(p, pg, missing, &st); err != nil {
+			if err := pl.recoverECPG(p, &ps, pg, missing, &st); err != nil {
 				return st, err
 			}
 		} else {
-			if err := pl.recoverReplicatedPG(p, pg, missing, &st); err != nil {
+			if err := pl.recoverReplicatedPG(p, &ps, pg, missing, &st); err != nil {
 				return st, err
 			}
 		}
 		st.PGsRepaired++
 	}
 	st.DurationSimulated = time.Duration(p.Now() - start)
+	pl.c.emitEvent("recovery-done", fmt.Sprintf(
+		"pool %s: %d PGs, %d objects, %.1f MiB rebuilt in %v",
+		pl.name, st.PGsRepaired, st.ObjectsRepaired, float64(st.BytesRebuilt)/(1<<20), st.DurationSimulated))
 	return st, nil
 }
 
@@ -103,7 +156,7 @@ func (pl *Pool) assignReplacements(pgid int, pg *PG, missing []int) error {
 }
 
 // recoverECPG rebuilds the missing shards of every object in an EC PG.
-func (pl *Pool) recoverECPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStats) error {
+func (pl *Pool) recoverECPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt []int, st *RecoveryStats) error {
 	g := pl.geom()
 	cm := &pl.c.cfg.Cost
 	_, primID := pg.primary()
@@ -162,6 +215,7 @@ func (pl *Pool) recoverECPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStat
 		st.ObjectsRepaired++
 		st.ShardsRebuilt += len(rebuilt)
 		st.BytesRebuilt += int64(len(rebuilt)) * g.shardSize
+		pl.pace(p, ps, st)
 	}
 	if pg.scache != nil {
 		pg.scache.clear()
@@ -197,7 +251,7 @@ func (pl *Pool) rebuildShardBytes(obj string, srcs, rebuilt []int, results [][]b
 // recoverReplicatedPG restores full object copies onto replacement OSDs.
 // The copy source must be a surviving replica: replacements were assigned
 // into the shard list already but hold no data yet.
-func (pl *Pool) recoverReplicatedPG(p *sim.Proc, pg *PG, rebuilt []int, st *RecoveryStats) error {
+func (pl *Pool) recoverReplicatedPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt []int, st *RecoveryStats) error {
 	cm := &pl.c.cfg.Cost
 	source := -1
 	for pos, osd := range pg.shards {
@@ -233,6 +287,7 @@ func (pl *Pool) recoverReplicatedPG(p *sim.Proc, pg *PG, rebuilt []int, st *Reco
 		st.ObjectsRepaired++
 		st.ReplicasCopied += len(rebuilt)
 		st.BytesRebuilt += int64(len(rebuilt)) * size
+		pl.pace(p, ps, st)
 	}
 	return nil
 }

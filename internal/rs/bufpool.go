@@ -11,6 +11,7 @@ import "sync"
 type codecPools struct {
 	stripes sync.Pool // *stripeBufs
 	deltas  sync.Pool // *[]byte (UpdateParity delta scratch)
+	runs    sync.Pool // *runState (concurrent runJobs scratch)
 }
 
 // stripeBufs is one stripe's worth of shard buffers (k+m chunks). All

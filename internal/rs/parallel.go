@@ -97,6 +97,57 @@ func (j *mulJob) rows() int {
 	return 1
 }
 
+// task is one schedulable unit: a byte window of one job.
+type task struct{ job, lo, hi int }
+
+// runState is the recycled scratch of one concurrent runJobs call: the
+// task list, the job copies, and the worker rendezvous. Pooling it (plus
+// spawning workers through the pre-built workFn closure, so the go
+// statements need no per-call wrapper allocation) keeps carry-mode
+// clusters with CodecConcurrency > 1 at zero allocations per stripe, like
+// the serial streaming path.
+type runState struct {
+	jobs   []mulJob
+	tasks  []task
+	next   atomic.Int64
+	wg     sync.WaitGroup
+	workFn func() // st.work method value, built once per state
+}
+
+func (st *runState) work() {
+	defer st.wg.Done()
+	for {
+		i := int(st.next.Add(1)) - 1
+		if i >= len(st.tasks) {
+			return
+		}
+		t := st.tasks[i]
+		st.jobs[t.job].run(t.lo, t.hi)
+	}
+}
+
+// getRun returns a recycled runState with empty task and job lists.
+func (c *Code) getRun() *runState {
+	st, _ := c.pools.runs.Get().(*runState)
+	if st == nil {
+		st = &runState{}
+		st.workFn = st.work
+	}
+	return st
+}
+
+// putRun recycles st, dropping references to caller buffers so the pool
+// does not pin shard memory.
+func (c *Code) putRun(st *runState) {
+	for i := range st.jobs {
+		st.jobs[i] = mulJob{}
+	}
+	st.jobs = st.jobs[:0]
+	st.tasks = st.tasks[:0]
+	st.next.Store(0)
+	c.pools.runs.Put(st)
+}
+
 // runJobs executes the row products, fanning out across byte spans when
 // the codec is concurrent and the work is large enough to pay for it.
 func (c *Code) runJobs(jobs []mulJob, size int) {
@@ -136,40 +187,28 @@ func (c *Code) runJobs(jobs []mulJob, size int) {
 	span = (span + spanAlign - 1) &^ (spanAlign - 1)
 	spans = (size + span - 1) / span
 
-	type task struct{ job, lo, hi int }
-	tasks := make([]task, 0, len(jobs)*spans)
-	for j := range jobs {
+	// Jobs are copied into the pooled state (not referenced), so a
+	// caller's stack-allocated job array never escapes through here.
+	st := c.getRun()
+	st.jobs = append(st.jobs, jobs...)
+	for j := range st.jobs {
 		for lo := 0; lo < size; lo += span {
 			hi := lo + span
 			if hi > size {
 				hi = size
 			}
-			tasks = append(tasks, task{j, lo, hi})
+			st.tasks = append(st.tasks, task{j, lo, hi})
 		}
 	}
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > len(st.tasks) {
+		workers = len(st.tasks)
 	}
 
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(tasks) {
-				return
-			}
-			t := tasks[i]
-			jobs[t.job].run(t.lo, t.hi)
-		}
-	}
-	var wg sync.WaitGroup
+	st.wg.Add(workers)
 	for w := 1; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			work()
-		}()
+		go st.workFn()
 	}
-	work() // the caller is worker 0
-	wg.Wait()
+	st.work() // the caller is worker 0
+	st.wg.Wait()
+	c.putRun(st)
 }

@@ -332,18 +332,24 @@ func (c *Code) UpdateParity(dataIdx int, oldData, newData []byte, parity [][]byt
 	}
 	if c.Concurrency() == 1 {
 		for p := 0; p < c.m; p++ {
-			gf.MulAddSlice(c.gen.Row(c.k+p)[dataIdx], delta, parity[p])
+			gf.MulAddSlice(c.gen.Row(c.k + p)[dataIdx], delta, parity[p])
 		}
 		return nil
 	}
-	jobs := make([]mulJob, c.m)
+	// Small stack-backed job list for the common parity widths; runJobs
+	// copies jobs into its pooled state, so this does not escape.
+	var jobsArr [8]mulJob
+	jobs := jobsArr[:0]
+	if c.m > len(jobsArr) {
+		jobs = make([]mulJob, 0, c.m)
+	}
 	for p := 0; p < c.m; p++ {
-		jobs[p] = mulJob{
-			coeffs:     []byte{c.gen.Row(c.k + p)[dataIdx]},
+		jobs = append(jobs, mulJob{
+			coeffs:     c.gen.Row(c.k + p)[dataIdx : dataIdx+1],
 			srcs:       [][]byte{delta},
 			out:        parity[p],
 			accumulate: true,
-		}
+		})
 	}
 	c.runJobs(jobs, len(delta))
 	return nil

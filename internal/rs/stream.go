@@ -12,15 +12,14 @@ import (
 // warm/cold-storage motivation), complementing the block-oriented API the
 // cluster uses.
 //
-// The steady state is zero-copy, and with the default serial codec
-// zero-allocation per stripe: stripe buffers come from the codec's pool
-// and are reused for every stripe, data chunks are encoded in place (no
-// redundant zeroing — only the padded tail of the final stripe is
-// cleared), and the decode plan (which shard streams to read, and the
+// The steady state is zero-copy and zero-allocation per stripe, for the
+// serial and the WithConcurrency codec alike: stripe buffers come from the
+// codec's pool and are reused for every stripe, data chunks are encoded in
+// place (no redundant zeroing — only the padded tail of the final stripe
+// is cleared), the decode plan (which shard streams to read, and the
 // inverted recover matrix when data shards are missing) is computed once
-// per stream rather than once per stripe. A WithConcurrency codec still
-// pays one small task-list allocation per stripe when a stripe is big
-// enough to fan out (see runJobs).
+// per stream rather than once per stripe, and the concurrent fan-out's
+// task list is pooled too (see runJobs).
 
 // ErrShortShard is returned when shard streams end before the recorded
 // payload size is recovered.

@@ -228,6 +228,61 @@ func TestStreamEncodeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestConcurrentSteadyStateAllocs extends the allocation gate to the
+// WithConcurrency codec (the open ROADMAP item): with the runJobs task
+// list pooled, carry-mode clusters running CodecConcurrency > 1 must be 0
+// allocs/stripe too, for block Encode and for streaming. Stripes are sized
+// so the parallel fan-out actually engages (several spans, several
+// workers).
+func TestConcurrentSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; alloc counts are not stable")
+	}
+	c := MustNew(6, 3).WithConcurrency(4)
+	const chunk = 32 << 10 // big enough that runJobs fans out across spans
+
+	t.Run("Encode", func(t *testing.T) {
+		shards := randShards(t, c, chunk, 77)
+		// Warm the run-state and goroutine pools.
+		for i := 0; i < 4; i++ {
+			if err := c.Encode(shards); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			if err := c.Encode(shards); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs > 0 {
+			t.Fatalf("concurrent Encode allocates %v/call, want 0", allocs)
+		}
+	})
+
+	t.Run("StreamEncode", func(t *testing.T) {
+		ws := make([]io.Writer, 9)
+		for i := range ws {
+			ws[i] = io.Discard
+		}
+		run := func(stripes int) float64 {
+			payload := make([]byte, 6*chunk*stripes)
+			rand.New(rand.NewSource(int64(stripes))).Read(payload)
+			r := bytes.NewReader(payload)
+			return testing.AllocsPerRun(5, func() {
+				r.Reset(payload)
+				if _, err := c.StreamEncode(r, ws, chunk); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		run(1) // warm the pools
+		few, many := run(2), run(16)
+		if many > few {
+			t.Fatalf("concurrent streaming allocations grow with stripe count: %v for 2 stripes, %v for 16 — want 0 allocs/stripe",
+				few, many)
+		}
+	})
+}
+
 // TestStreamDecodeSteadyStateAllocs: same gate for the decode side, with
 // erasures — the recover matrix must be inverted once per stream, not per
 // stripe, and stripe buffers must come from the pool.

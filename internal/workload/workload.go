@@ -1,18 +1,26 @@
-// Package workload drives the cluster with FIO-like closed-loop jobs
-// (§III): a fixed queue depth of outstanding block requests (the paper uses
-// 256) against an RBD image, sequential or random, read or write, with a
-// fixed block size, measuring client-visible throughput and latency plus
-// the cluster-side metrics behind the paper's figures.
+// Package workload drives the cluster with FIO-like jobs and composes them
+// into scenarios.
+//
+// A Job is one load generator against an RBD image: sequential or random,
+// read, write or mixed, closed-loop (a fixed queue depth of outstanding
+// requests, the paper uses 256) or open-loop (a fixed arrival rate,
+// Job.Rate), measuring client-visible throughput and latency plus the
+// cluster-side metrics behind the paper's figures.
+//
+// A Scenario composes any number of concurrent jobs with a phase timeline
+// and mid-run fault/repair events (FailOSD, StartRecovery, recovery
+// throttling) on one deterministic simulation — the harness shape of
+// multi-job FIO files and cluster-testbed suites, covering the paper's
+// combination effects: degraded reads during recovery (§IV-E), mixed
+// tenants across pools, repair traffic under foreground load. Run is the
+// single-job wrapper over the same runner.
 package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"ecarray/internal/core"
-	"ecarray/internal/sim"
-	"ecarray/internal/stats"
 )
 
 // Pattern is the access pattern.
@@ -53,13 +61,20 @@ func (o Op) String() string {
 	}
 }
 
-// Job describes one FIO-style run.
+// Job describes one FIO-style load generator.
 type Job struct {
-	Name       string
-	Op         Op
-	Pattern    Pattern
-	BlockSize  int64
+	Name      string
+	Op        Op
+	Pattern   Pattern
+	BlockSize int64
+	// QueueDepth is the closed-loop worker count: that many requests stay
+	// outstanding at all times. Ignored when Rate selects open-loop pacing.
 	QueueDepth int
+	// Rate, when positive, switches the job to open-loop pacing: requests
+	// arrive at fixed 1/Rate-second intervals (FIO's rate_iops) regardless
+	// of completions, each running independently — overload shows up as
+	// latency, not as throttled arrivals.
+	Rate float64
 	// Ramp is the warm-up before the measurement window opens; cluster
 	// metrics are reset at its end. Write experiments on pristine images
 	// use Ramp 0 so object initialization is measured, as in the paper.
@@ -71,7 +86,10 @@ type Job struct {
 	// (throughput, CPU, context switches, private network) for the paper's
 	// Figs 19-20.
 	SampleInterval time.Duration
-	// MixRead is the read percentage for Op == Mixed (e.g. 70).
+	// MixRead is the read percentage for Op == Mixed (e.g. 70). Mixed jobs
+	// run under either pattern: random picks offsets independently, while
+	// sequential advances one shared cursor and flips a per-request coin
+	// for the direction (FIO's rw=rw).
 	MixRead int
 	// Zipf, when > 1, skews random offsets with a Zipf(s=Zipf) popularity
 	// distribution instead of uniform (hot-spot workloads).
@@ -82,7 +100,9 @@ func (j *Job) validate(imageSize int64) error {
 	switch {
 	case j.BlockSize <= 0 || j.BlockSize > imageSize:
 		return fmt.Errorf("workload: bad block size %d", j.BlockSize)
-	case j.QueueDepth <= 0:
+	case j.Rate < 0:
+		return fmt.Errorf("workload: negative arrival rate %v", j.Rate)
+	case j.Rate == 0 && j.QueueDepth <= 0:
 		return fmt.Errorf("workload: bad queue depth %d", j.QueueDepth)
 	case j.Duration <= 0:
 		return fmt.Errorf("workload: bad duration %v", j.Duration)
@@ -90,8 +110,6 @@ func (j *Job) validate(imageSize int64) error {
 		return fmt.Errorf("workload: negative ramp")
 	case j.Op == Mixed && (j.MixRead <= 0 || j.MixRead >= 100):
 		return fmt.Errorf("workload: Mixed requires MixRead in (0,100), got %d", j.MixRead)
-	case j.Op == Mixed && j.Pattern == Sequential:
-		return fmt.Errorf("workload: Mixed supports random pattern only")
 	case j.Zipf != 0 && j.Zipf <= 1:
 		return fmt.Errorf("workload: Zipf parameter must be > 1")
 	}
@@ -100,15 +118,15 @@ func (j *Job) validate(imageSize int64) error {
 
 // Sample is one time-series point.
 type Sample struct {
-	Second     float64
-	MBps       float64 // client-visible completion throughput
-	UserCPU    float64 // storage-cluster fraction
-	KernelCPU  float64
-	CtxPerSec  float64
-	PrivateRx  float64 // B/s delivered over the private network
-	PrivateTx  float64 // B/s sent over the private network
-	DevReadBps float64
-	DevWriteBs float64
+	Second      float64
+	MBps        float64 // client-visible completion throughput
+	UserCPU     float64 // storage-cluster fraction
+	KernelCPU   float64
+	CtxPerSec   float64
+	PrivateRx   float64 // B/s delivered over the private network
+	PrivateTx   float64 // B/s sent over the private network
+	DevReadBps  float64
+	DevWriteBps float64
 }
 
 // Result summarizes a run.
@@ -147,204 +165,15 @@ func (r Result) String() string {
 		float64(r.MeanLatency)/1e6, float64(r.P99Latency)/1e6)
 }
 
-// Run executes the job against the image and returns its result. It owns
-// the engine for the duration of the run: the cluster's metrics are reset at
-// the end of the ramp, workers stop issuing at the window end, in-flight
+// Run executes one job against the image and returns its result: the
+// single-job wrapper over the Scenario runner. It owns the engine for the
+// duration of the run: the cluster's metrics are reset at the end of the
+// ramp, the load generator stops issuing at the window end, in-flight
 // requests drain, and background daemons are stopped.
 func Run(c *core.Cluster, img *core.Image, job Job) (Result, error) {
-	if err := job.validate(img.Size()); err != nil {
+	res, err := NewScenario(c).Ramp(job.Ramp).AddJob(img, job).Run()
+	if err != nil {
 		return Result{}, err
 	}
-	e := c.Engine()
-	start := e.Now()
-	rampEnd := start + sim.Time(job.Ramp)
-	windowEnd := rampEnd + sim.Time(job.Duration)
-
-	blocks := img.Size() / job.BlockSize
-	if blocks == 0 {
-		return Result{}, fmt.Errorf("workload: image smaller than one block")
-	}
-
-	hist := stats.NewHistogram()
-	var ops, bytes, errs int64
-	var readOps, writeOps int64
-	var cursor int64 // sequential position (shared by workers, as one FIO job)
-	rng := sim.NewRand(job.Seed)
-	var zipf *rand.Zipf
-	if job.Zipf > 1 {
-		zipf = rand.NewZipf(rng, job.Zipf, 1, uint64(blocks-1))
-	}
-
-	var thrSeries *stats.Series
-	if job.SampleInterval > 0 {
-		thrSeries = stats.NewSeries(job.SampleInterval)
-	}
-
-	var payload []byte
-	if c.Config().CarryData && job.Op != Read {
-		payload = make([]byte, job.BlockSize)
-		rng.Read(payload)
-	}
-
-	for w := 0; w < job.QueueDepth; w++ {
-		e.Go(fmt.Sprintf("fio/%s/%d", job.Name, w), func(p *sim.Proc) {
-			for p.Now() < windowEnd {
-				var off int64
-				switch {
-				case job.Pattern == Sequential:
-					off = (cursor % blocks) * job.BlockSize
-					cursor++
-				case zipf != nil:
-					off = int64(zipf.Uint64()) * job.BlockSize
-				default:
-					off = rng.Int63n(blocks) * job.BlockSize
-				}
-				op := job.Op
-				if op == Mixed {
-					if rng.Intn(100) < job.MixRead {
-						op = Read
-					} else {
-						op = Write
-					}
-				}
-				issued := p.Now()
-				var err error
-				if op == Write {
-					err = img.Write(p, off, payload, job.BlockSize)
-				} else {
-					_, err = img.Read(p, off, job.BlockSize)
-				}
-				done := p.Now()
-				if err != nil {
-					errs++
-					continue
-				}
-				if done >= rampEnd && done <= windowEnd {
-					ops++
-					bytes += job.BlockSize
-					if op == Read {
-						readOps++
-					} else {
-						writeOps++
-					}
-					hist.Observe(time.Duration(done - issued))
-					if thrSeries != nil {
-						thrSeries.Add(time.Duration(done-start), float64(job.BlockSize))
-					}
-				}
-			}
-		})
-	}
-
-	// Reset cluster metrics when the measurement window opens.
-	if job.Ramp > 0 {
-		e.Schedule(job.Ramp, func() { c.ResetMetrics() })
-	} else {
-		c.ResetMetrics()
-	}
-
-	// Optional cluster-side sampler.
-	var samples []Sample
-	if job.SampleInterval > 0 {
-		runSampler(c, job, start, windowEnd, thrSeries, &samples)
-	}
-
-	// Drive the run: workers re-check the clock after each op, so running
-	// past windowEnd lets in-flight requests complete, then everything
-	// drains naturally once the cluster's daemons stop.
-	e.RunUntil(windowEnd)
-	c.Stop()
-	e.Run()
-
-	m := c.Metrics()
-	elapsed := job.Duration.Seconds()
-	res := Result{
-		Job:         job,
-		Ops:         ops,
-		Bytes:       bytes,
-		Seconds:     elapsed,
-		MeanLatency: hist.Mean(),
-		P50Latency:  hist.Quantile(0.5),
-		P99Latency:  hist.Quantile(0.99),
-		MaxLatency:  hist.Max(),
-		Metrics:     m,
-		Errors:      errs,
-		ReadOps:     readOps,
-		WriteOps:    writeOps,
-	}
-	if elapsed > 0 {
-		res.MBps = float64(bytes) / elapsed / (1 << 20)
-		res.IOPS = float64(ops) / elapsed
-	}
-	if job.SampleInterval > 0 {
-		res.Samples = samples
-	}
-	return res, nil
-}
-
-// runSampler registers periodic sampling events; *out fills as the engine
-// runs. Deltas are clamped at zero to absorb the counter reset at ramp end.
-func runSampler(c *core.Cluster, job Job, start, windowEnd sim.Time,
-	thrSeries *stats.Series, out *[]Sample) {
-	e := c.Engine()
-	interval := job.SampleInterval
-	type snap struct {
-		user, kern float64
-		ctx        int64
-		priv       int64
-		devR, devW int64
-	}
-	var last snap
-	var tick func()
-	readCounters := func() snap {
-		var s snap
-		for _, n := range c.Nodes() {
-			u, k := n.CPU.BusySeconds()
-			s.user += u
-			s.kern += k
-			s.ctx += n.CPU.ContextSwitches()
-		}
-		s.priv = c.PrivateNetwork().Bytes()
-		for _, o := range c.OSDs() {
-			ds := o.Store.Device().Stats()
-			s.devR += ds.HostReadBytes
-			s.devW += ds.HostWriteBytes
-		}
-		return s
-	}
-	last = readCounters()
-	cores := float64(len(c.Nodes()) * c.Nodes()[0].CPU.Cores())
-	secs := interval.Seconds()
-	tick = func() {
-		now := e.Now()
-		if now > windowEnd {
-			return
-		}
-		cur := readCounters()
-		idx := int((now - start).Duration() / interval)
-		var mbps float64
-		if thrSeries != nil && idx > 0 {
-			mbps = thrSeries.At(idx-1) / secs / (1 << 20)
-		}
-		pos := func(v float64) float64 {
-			if v < 0 {
-				return 0
-			}
-			return v
-		}
-		*out = append(*out, Sample{
-			Second:     (now - start).Seconds(),
-			MBps:       mbps,
-			UserCPU:    pos((cur.user - last.user) / (secs * cores)),
-			KernelCPU:  pos((cur.kern - last.kern) / (secs * cores)),
-			CtxPerSec:  pos(float64(cur.ctx-last.ctx) / secs),
-			PrivateRx:  pos(float64(cur.priv-last.priv) / secs),
-			PrivateTx:  pos(float64(cur.priv-last.priv) / secs),
-			DevReadBps: pos(float64(cur.devR-last.devR) / secs),
-			DevWriteBs: pos(float64(cur.devW-last.devW) / secs),
-		})
-		last = cur
-		e.Schedule(interval, tick)
-	}
-	e.Schedule(interval, tick)
+	return res.Jobs[0].Result, nil
 }

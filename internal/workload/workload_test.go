@@ -201,15 +201,58 @@ func TestMixedWorkload(t *testing.T) {
 func TestMixedValidation(t *testing.T) {
 	c, img := testCluster(t, core.ProfileReplicated(3), 64<<20)
 	bad := []Job{
-		{Op: Mixed, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second},                  // no MixRead
-		{Op: Mixed, MixRead: 100, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second},    // degenerate
-		{Op: Mixed, MixRead: 50, Pattern: Sequential, BlockSize: 4096, QueueDepth: 1, Duration: time.Second}, // seq
-		{Op: Write, Zipf: 0.5, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second},       // bad zipf
+		{Op: Mixed, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second},               // no MixRead
+		{Op: Mixed, MixRead: 100, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second}, // degenerate
+		{Op: Write, Zipf: 0.5, Pattern: Random, BlockSize: 4096, QueueDepth: 1, Duration: time.Second},    // bad zipf
+		{Op: Write, Rate: -5, Pattern: Random, BlockSize: 4096, Duration: time.Second},                    // negative rate
 	}
 	for i, j := range bad {
 		if _, err := Run(c, img, j); err == nil {
 			t.Errorf("bad mixed job %d accepted", i)
 		}
+	}
+}
+
+// TestSequentialMixed lifts the old Mixed+Sequential restriction (FIO's
+// rw=rw): a sequential mixed job must run, split ops per MixRead, and land
+// at a rate consistent with the pure sequential read and write rates it
+// interleaves.
+func TestSequentialMixed(t *testing.T) {
+	run := func(op Op, mixRead int) Result {
+		c, img := testCluster(t, core.ProfileEC(6, 3), 256<<20)
+		img.Prefill()
+		res, err := Run(c, img, Job{
+			Name: "seqmix", Op: op, MixRead: mixRead, Pattern: Sequential,
+			BlockSize: 16 << 10, QueueDepth: 32, Duration: 600 * time.Millisecond, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pureRead := run(Read, 0)
+	pureWrite := run(Write, 0)
+	mixed := run(Mixed, 70)
+	if mixed.Errors != 0 {
+		t.Fatalf("sequential mixed job produced %d errors", mixed.Errors)
+	}
+	if mixed.ReadOps == 0 || mixed.WriteOps == 0 {
+		t.Fatalf("sequential mixed must issue both: reads=%d writes=%d", mixed.ReadOps, mixed.WriteOps)
+	}
+	share := float64(mixed.ReadOps) / float64(mixed.ReadOps+mixed.WriteOps)
+	if share < 0.55 || share > 0.85 {
+		t.Fatalf("read share = %.2f, want ~0.70", share)
+	}
+	// Differential: the interleaved rate must sit in the band spanned by
+	// the pure sequential rates (loose factors: mixing perturbs caching
+	// and pipelining at both ends).
+	lo, hi := pureWrite.MBps, pureRead.MBps
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mixed.MBps < lo*0.4 || mixed.MBps > hi*1.5 {
+		t.Fatalf("sequential mixed rate %.1f MB/s outside [%.1f, %.1f] band from pure read %.1f / write %.1f",
+			mixed.MBps, lo*0.4, hi*1.5, pureRead.MBps, pureWrite.MBps)
 	}
 }
 
