@@ -171,21 +171,37 @@ func (pl *Pool) readEC(p *sim.Proc, obj string, off, length int64) ([]byte, erro
 
 	var data []byte
 	if pl.c.cfg.CarryData {
-		data = make([]byte, length)
-		for i := int64(0); i < length; i++ {
-			abs := off + i
-			s := abs / g.stripeWidth
-			within := abs % g.stripeWidth
-			chunk := within / g.unit
-			cOff := within % g.unit
-			if chunks := stripes[s]; chunks != nil && chunks[chunk] != nil {
-				data[i] = chunks[chunk][cOff]
-			}
-		}
+		data = assembleRead(g, stripes, off, length)
 	}
 
 	pl.c.sendPublicToClient(p, prim.Node, length)
 	return data, nil
+}
+
+// assembleRead composes the client reply for [off, off+length) from per-stripe
+// data chunks, copying whole chunk runs at a time. Ranges whose stripe or
+// chunk is absent stay zero (size-only fetches, holes).
+func assembleRead(g ecGeom, stripes map[int64][][]byte, off, length int64) []byte {
+	data := make([]byte, length)
+	s0, s1 := g.stripeSpan(off, length)
+	for s := s0; s < s1; s++ {
+		chunks := stripes[s]
+		if chunks == nil {
+			continue
+		}
+		stripeStart := s * g.stripeWidth
+		lo, hi := max(off, stripeStart), min(off+length, stripeStart+g.stripeWidth)
+		for abs := lo; abs < hi; {
+			within := abs - stripeStart
+			chunk, cOff := within/g.unit, within%g.unit
+			run := min(g.unit-cOff, hi-abs)
+			if c := chunks[chunk]; c != nil {
+				copy(data[abs-off:abs-off+run], c[cOff:cOff+run])
+			}
+			abs += run
+		}
+	}
+	return data
 }
 
 // initObject implements §VII-B object management: the first write into an
@@ -351,12 +367,16 @@ func (pl *Pool) buildShardWrites(obj string, off int64, data []byte, length int6
 		for j := g.k; j < g.k+g.m; j++ {
 			stripe[j] = shardData[j][base : base+g.unit]
 		}
-		// Overlay the new data for this stripe.
-		stripeStart := s * g.stripeWidth
-		for b := int64(0); b < g.stripeWidth; b++ {
-			abs := stripeStart + b
-			if idx := abs - off; idx >= 0 && idx < length && data != nil {
-				stripe[b/g.unit][b%g.unit] = data[idx]
+		// Overlay the new data for this stripe, whole chunk runs at a time.
+		if data != nil {
+			stripeStart := s * g.stripeWidth
+			lo, hi := max(off, stripeStart), min(off+length, stripeStart+g.stripeWidth)
+			for abs := lo; abs < hi; {
+				within := abs - stripeStart
+				chunk, cOff := within/g.unit, within%g.unit
+				run := min(g.unit-cOff, hi-abs)
+				copy(stripe[chunk][cOff:cOff+run], data[abs-off:abs-off+run])
+				abs += run
 			}
 		}
 		if err := pl.code.Encode(stripe); err != nil {
