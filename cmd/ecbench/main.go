@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,7 +44,25 @@ func main() {
 		"GF kernel tier for the RS codec: auto, scalar, avx2 (alias vector), fused or gfni")
 	codecConc := flag.Int("codec-conc", 0, "max codec worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	calibrate := flag.Bool("calibrate", false, "derive simulated encode cost from the real codec's measured MB/s")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() exits without running defers; register the flush there so
+		// a failing run still leaves a usable profile.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	kern, ok := gf.ParseKernel(*codecKernel)
 	if !ok {
@@ -109,6 +128,9 @@ func main() {
 	}
 	fmt.Printf("reproduced %d table(s) in %s (simulated window %s per run)\n",
 		len(tables), time.Since(start).Round(time.Second), opt.Duration)
+	if line := suite.EngineReport(); line != "" {
+		fmt.Println(line)
+	}
 
 	if *csvdir != "" {
 		if err := os.MkdirAll(*csvdir, 0o755); err != nil {
@@ -124,7 +146,12 @@ func main() {
 	}
 }
 
+// stopProfile flushes an active CPU profile; fatal runs it because os.Exit
+// skips deferred calls.
+var stopProfile = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ecbench:", err)
+	stopProfile()
 	os.Exit(1)
 }

@@ -65,6 +65,7 @@ func (s *Suite) RunAllAblations() ([]Table, error) {
 // ablationRun builds a cluster with the mutation applied and runs one job.
 func (s *Suite) ablationRun(profile core.Profile, mutate func(*core.Config),
 	job workload.Job, prefill bool) (Cell, error) {
+	started := time.Now()
 	cfg := core.DefaultConfig()
 	cfg.DeviceCapacity = s.Opt.deviceCapacity()
 	cfg.Device.Capacity = cfg.DeviceCapacity
@@ -99,7 +100,7 @@ func (s *Suite) ablationRun(profile core.Profile, mutate func(*core.Config),
 	if err != nil {
 		return Cell{}, err
 	}
-	e.Drain()
+	s.drainAndNote(e, started)
 	return Cell{Result: res}, nil
 }
 

@@ -332,6 +332,7 @@ func (s *Suite) fig19() ([]Table, error) {
 	}
 	series := map[string][]workload.Sample{}
 	for _, sc := range []Scheme{Schemes()[0], Schemes()[1]} { // 3-Rep vs RS(6,3)
+		started := time.Now()
 		c, img, err := s.clusterFor(sc, 19)
 		if err != nil {
 			return nil, err
@@ -344,7 +345,7 @@ func (s *Suite) fig19() ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Engine().Drain()
+		s.drainAndNote(c.Engine(), started)
 		series[sc.Name] = res.Samples
 	}
 	t := Table{
@@ -378,6 +379,7 @@ func (s *Suite) fig20() ([]Table, error) {
 		interval = s.Opt.Duration / 10
 	}
 	run := func(prefill bool, salt int64) ([]workload.Sample, error) {
+		started := time.Now()
 		c, img, err := s.clusterFor(sc, 20+salt)
 		if err != nil {
 			return nil, err
@@ -393,7 +395,7 @@ func (s *Suite) fig20() ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.Engine().Drain()
+		s.drainAndNote(c.Engine(), started)
 		return res.Samples, nil
 	}
 	pristine, err := run(false, 0)

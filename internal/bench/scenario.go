@@ -73,6 +73,7 @@ func (s *Suite) scenarioPhase() time.Duration {
 // a prefilled RS(6,3) image, two OSDs failing at the first phase boundary,
 // recovery starting at the second. rate > 0 throttles the repair pass.
 func (s *Suite) failureScenario(salt int64, rate int64) (*workload.ScenarioResult, error) {
+	started := time.Now()
 	sc := Scheme{"RS(6,3)", core.ProfileEC(6, 3)}
 	c, img, err := s.clusterFor(sc, salt)
 	if err != nil {
@@ -99,7 +100,7 @@ func (s *Suite) failureScenario(salt int64, rate int64) (*workload.ScenarioResul
 	if err != nil {
 		return nil, err
 	}
-	c.Engine().Drain()
+	s.drainAndNote(c.Engine(), started)
 	return res, nil
 }
 
@@ -181,6 +182,7 @@ func (s *Suite) scenarioRecoveryInterference() (Table, error) {
 // the same cluster concurrently: the paper's scheme comparison, but
 // sharing hardware instead of measured back to back.
 func (s *Suite) scenarioMixedTenants() (Table, error) {
+	started := time.Now()
 	sc := Scheme{"3-Rep", core.ProfileReplicated(3)}
 	c, repImg, err := s.clusterFor(sc, 47)
 	if err != nil {
@@ -210,7 +212,7 @@ func (s *Suite) scenarioMixedTenants() (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	c.Engine().Drain()
+	s.drainAndNote(c.Engine(), started)
 	t := Table{
 		ID:      "scenario-mixed-tenants",
 		Title:   "Mixed tenants sharing one cluster: 3-Rep vs RS(6,3), 70/30 4KB random",

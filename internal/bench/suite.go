@@ -216,6 +216,16 @@ type Suite struct {
 	cells map[Key]Cell
 	ssd   map[Key]Cell // bare-SSD baseline cells (scheme "SSD")
 	mbps  map[[2]int]calibration
+	eng   engineStats
+}
+
+// engineStats aggregates simulator throughput over every run the suite
+// executed, so ecbench output tracks an engine-performance trajectory
+// (events/sec and virtual-to-wall ratio) alongside the simulated results.
+type engineStats struct {
+	events  uint64        // engine events dispatched
+	virtual time.Duration // simulated time covered
+	wall    time.Duration // wall-clock time spent running engines
 }
 
 // NewSuite returns an empty suite.
@@ -299,6 +309,31 @@ func (s *Suite) applyCodecConfig(cfg *core.Config, profile core.Profile) {
 	}
 }
 
+// drainAndNote finishes one simulation run: it drains the engine and folds
+// the run's dispatched events, simulated time and wall time into the
+// suite's engine-throughput accounting. started is taken just before the
+// run's cluster was built, so setup cost counts against the simulator too.
+func (s *Suite) drainAndNote(e *sim.Engine, started time.Time) {
+	e.Drain()
+	s.eng.events += e.Executed()
+	s.eng.virtual += e.Now().Duration()
+	s.eng.wall += time.Since(started)
+}
+
+// EngineReport renders the simulator's aggregate throughput across all runs
+// so far: dispatched events per wall second and the virtual-to-wall time
+// ratio. Empty before any run.
+func (s *Suite) EngineReport() string {
+	if s.eng.events == 0 || s.eng.wall <= 0 {
+		return ""
+	}
+	wall := s.eng.wall.Seconds()
+	return fmt.Sprintf("engine: %.1fM events in %.1fs wall (%.2fM events/s; %.1fs simulated, %.2fx real time)",
+		float64(s.eng.events)/1e6, wall,
+		float64(s.eng.events)/wall/1e6,
+		s.eng.virtual.Seconds(), s.eng.virtual.Seconds()/wall)
+}
+
 // Cell runs (or returns the cached) cell for the key.
 func (s *Suite) Cell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
 	k := Key{scheme.Name, pattern, op, bs}
@@ -340,6 +375,7 @@ func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.
 }
 
 func (s *Suite) runCell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	started := time.Now()
 	c, img, err := s.clusterFor(scheme, bs)
 	if err != nil {
 		return Cell{}, err
@@ -362,7 +398,7 @@ func (s *Suite) runCell(scheme Scheme, pattern workload.Pattern, op workload.Op,
 	if err != nil {
 		return Cell{}, err
 	}
-	c.Engine().Drain()
+	s.drainAndNote(c.Engine(), started)
 	return Cell{Result: res}, nil
 }
 
@@ -382,6 +418,7 @@ func (s *Suite) BareSSD(pattern workload.Pattern, op workload.Op, bs int64) (Cel
 }
 
 func (s *Suite) runBareSSD(pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {
+	started := time.Now()
 	e := sim.NewEngine()
 	capacity := int64(4 << 30)
 	dev, err := ssd.New(e, "bare", ssd.DefaultConfig(capacity))
@@ -396,7 +433,7 @@ func (s *Suite) runBareSSD(pattern workload.Pattern, op workload.Op, bs int64) (
 	var cursor int64 // shared sequential cursor, as one FIO job
 	// Device-level queue depth: bounded by NCQ, as with FIO on a raw device.
 	for w := 0; w < 32; w++ {
-		e.Go(fmt.Sprintf("ssd/%d", w), func(p *sim.Proc) {
+		e.GoNamed("ssd", "", w, func(p *sim.Proc) {
 			for p.Now() < end {
 				var off int64
 				if pattern == workload.Sequential {
@@ -416,7 +453,7 @@ func (s *Suite) runBareSSD(pattern workload.Pattern, op workload.Op, bs int64) (
 		})
 	}
 	e.RunUntil(end)
-	e.Drain()
+	s.drainAndNote(e, started)
 	res := workload.Result{
 		Job:   workload.Job{Op: op, Pattern: pattern, BlockSize: bs},
 		Ops:   ops,

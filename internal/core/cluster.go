@@ -151,26 +151,46 @@ func (c *Cluster) Stop() { c.stopped = true }
 // scheduleHeartbeat implements the §II-A OSD health checks: every interval,
 // each OSD pings its peers over the private network — the paper's ~20 KB/s
 // "almost zero" baseline of Figs 1 and 17.
+//
+// One long-lived process per OSD (named once at construction) parks on a
+// Waker between rounds; a single scheduled tick wakes the up OSDs each
+// interval. Steady-state heartbeats therefore spawn no processes and format
+// no names. While a round finishes within the interval — sends take
+// microseconds against a multi-second interval — this produces the exact
+// event sequence of the old spawn-per-tick scheme (one wakeup per up OSD
+// per interval, in OSD order). If the private network ever backs a round up
+// past the interval, pending wakes are counted and the rounds run
+// back-to-back rather than overlapping as separately spawned processes
+// would have; no round is dropped either way.
 func (c *Cluster) scheduleHeartbeat() {
 	cm := &c.cfg.Cost
-	var tick func()
-	tick = func() {
-		if c.stopped {
-			return
-		}
-		for _, o := range c.osds {
-			if !o.up {
-				continue
-			}
-			osd := o
-			c.e.Go(fmt.Sprintf("hb/osd%d", osd.ID), func(p *sim.Proc) {
+	wakers := make([]*sim.Waker, len(c.osds))
+	for i, o := range c.osds {
+		osd := o
+		w := sim.NewWaker(c.e)
+		wakers[i] = w
+		c.e.Go(fmt.Sprintf("hb/osd%d", osd.ID), func(p *sim.Proc) {
+			for {
+				w.Wait(p)
 				for _, peer := range c.osds {
 					if peer == osd || !peer.up || peer.Node == osd.Node {
 						continue
 					}
 					c.private.Send(p, osd.Node.Name, peer.Node.Name, cm.HeartbeatBytes)
 				}
-			})
+			}
+		})
+	}
+	var tick func()
+	tick = func() {
+		if c.stopped {
+			return
+		}
+		for i, o := range c.osds {
+			if !o.up {
+				continue
+			}
+			wakers[i].Wake()
 		}
 		c.e.Schedule(cm.HeartbeatInterval, tick)
 	}

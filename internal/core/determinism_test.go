@@ -77,6 +77,43 @@ func TestMetricsDeterministicUnderCodecConcurrency(t *testing.T) {
 	}
 }
 
+// fnvDigest folds a string through FNV-1a, matching the payload digest the
+// determinism workload computes.
+func fnvDigest(s string) string {
+	sum := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		sum ^= uint64(s[i])
+		sum *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", sum)
+}
+
+// Golden digests of the determinism workload, captured from the engine as it
+// existed before the typed-event/pooled-proc rebuild. Any change to these
+// values means the simulator's event ordering (and therefore every simulated
+// metric) shifted — exactly what the rebuild promised not to do. Re-capture
+// deliberately only when a simulated-fidelity change is intended.
+const (
+	goldenMetricsDigest = "fb2afae2f1281c02"
+	goldenPayloadDigest = "34dbc89b7791f385"
+)
+
+// TestGoldenEngineDigest pins the old-vs-new engine equivalence: the same
+// seed and config must keep producing byte-identical Metrics and payload
+// bytes across the engine rebuild, at codec concurrency 1 and 4 alike.
+func TestGoldenEngineDigest(t *testing.T) {
+	for _, conc := range []int{1, 4} {
+		m, d := runDeterminismWorkload(t, conc)
+		if got := fnvDigest(fmt.Sprintf("%+v", m)); got != goldenMetricsDigest {
+			t.Errorf("conc %d: metrics digest = %s, want golden %s\nmetrics: %+v",
+				conc, got, goldenMetricsDigest, m)
+		}
+		if d != goldenPayloadDigest {
+			t.Errorf("conc %d: payload digest = %s, want golden %s", conc, d, goldenPayloadDigest)
+		}
+	}
+}
+
 // TestEncodeCostPerKBOverride pins the measured-throughput override: when
 // EncodeMBps is set the derived per-KiB cost must follow it, and the
 // fallback constant must apply otherwise.

@@ -25,7 +25,7 @@ func (pl *Pool) fetchShards(p *sim.Proc, pg *PG, prim *OSD, obj string, shardPos
 	for i, pos := range shardPos {
 		i, pos := i, pos
 		osd := pl.c.osds[pg.shards[pos]]
-		pl.c.e.Go(fmt.Sprintf("ecfetch/%s.%d", obj, pos), func(sp *sim.Proc) {
+		pl.c.e.GoNamed("ecfetch", obj, pos, func(sp *sim.Proc) {
 			if osd == prim {
 				prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)
 				results[i] = prim.Store.Read(sp, obj, shardOff, perShard)
@@ -222,7 +222,7 @@ func (pl *Pool) initObject(p *sim.Proc, pg *PG, prim *OSD, obj string) {
 			continue
 		}
 		osd := pl.c.osds[osdID]
-		pl.c.e.Go(fmt.Sprintf("ecinit/%s", obj), func(sp *sim.Proc) {
+		pl.c.e.GoNamed("ecinit", obj, -1, func(sp *sim.Proc) {
 			if osd == prim {
 				prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)
 				prim.Store.Write(sp, obj, 0, nil, g.shardSize)
@@ -318,7 +318,7 @@ func (pl *Pool) writeEC(p *sim.Proc, obj string, off int64, data []byte, length 
 		}
 		pos := pos
 		osd := pl.c.osds[osdID]
-		pl.c.e.Go(fmt.Sprintf("ecwrite/%s.%d", obj, pos), func(sp *sim.Proc) {
+		pl.c.e.GoNamed("ecwrite", obj, pos, func(sp *sim.Proc) {
 			payload := shardData[pos]
 			if osd == prim {
 				prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)

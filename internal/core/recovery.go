@@ -198,7 +198,7 @@ func (pl *Pool) recoverECPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt []int, s
 			if shardBytes != nil {
 				payload = shardBytes[pos]
 			}
-			pl.c.e.Go(fmt.Sprintf("recover/%s.%d", obj, pos), func(sp *sim.Proc) {
+			pl.c.e.GoNamed("recover", obj, pos, func(sp *sim.Proc) {
 				if osd == prim {
 					prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)
 					prim.Store.Write(sp, obj, 0, payload, g.shardSize)
@@ -275,7 +275,7 @@ func (pl *Pool) recoverReplicatedPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt 
 		latch := sim.NewLatch(pl.c.e, len(rebuilt))
 		for _, pos := range rebuilt {
 			osd := pl.c.osds[pg.shards[pos]]
-			pl.c.e.Go(fmt.Sprintf("recover/%s", obj), func(sp *sim.Proc) {
+			pl.c.e.GoNamed("recover", obj, -1, func(sp *sim.Proc) {
 				pl.c.sendPrivate(sp, prim.Node, osd.Node, size)
 				osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
 				osd.Store.Write(sp, obj, 0, data, size)

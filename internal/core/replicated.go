@@ -33,7 +33,7 @@ func (pl *Pool) writeReplicated(p *sim.Proc, obj string, off int64, data []byte,
 			continue
 		}
 		osd := pl.c.osds[osdID]
-		pl.c.e.Go(fmt.Sprintf("rep/%s", obj), func(sp *sim.Proc) {
+		pl.c.e.GoNamed("rep", obj, -1, func(sp *sim.Proc) {
 			if osd == prim {
 				prim.Node.CPU.Exec(sp, 0, cm.StoreSubmitKern)
 				prim.Store.Write(sp, obj, off, data, length)

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEngineSteadyStateAllocs is the engine-side allocation regression
+// (mirroring the rs package's steady-state allocs tests): once the event
+// heap, the live set and the worker pool have reached their high-water
+// capacity, a steady mix of fn events, sleeps, pooled spawns and contended
+// resource handoffs must allocate nothing — 0 allocs/event and 0
+// allocs/switch.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "mutex", 1)
+	child := func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(time.Microsecond)
+		r.Release(1)
+	}
+	// A periodic engine-context event (evFn)...
+	var tick func()
+	tick = func() { e.Schedule(10*time.Microsecond, tick) }
+	e.Schedule(10*time.Microsecond, tick)
+	// ...a long-lived sleeper (evWake switches)...
+	e.Go("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(3 * time.Microsecond)
+		}
+	})
+	// ...and a driver that keeps spawning contending children (pooled
+	// evStart + recycle, intrusive resource queue).
+	e.Go("driver", func(p *Proc) {
+		for {
+			for i := 0; i < 4; i++ {
+				e.Go("child", child)
+			}
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+
+	// Warm up: grow heap/pool/live capacities to their high-water marks.
+	e.RunFor(2 * time.Millisecond)
+
+	before := e.Executed()
+	allocs := testing.AllocsPerRun(50, func() {
+		e.RunFor(200 * time.Microsecond)
+	})
+	events := e.Executed() - before
+	if events == 0 {
+		t.Fatal("steady-state window executed no events")
+	}
+	if allocs != 0 {
+		t.Fatalf("steady state allocates: %.2f allocs/run over %d events (want 0)", allocs, events)
+	}
+	e.Drain()
+}
+
+// TestDrainThenReuseDeterministic pins pooling determinism across Drain: an
+// engine that ran a workload, was drained (killing parked and queued
+// processes, recycling their workers), and then runs a second workload must
+// produce the exact event interleaving a fresh engine produces for that
+// second workload.
+func TestDrainThenReuseDeterministic(t *testing.T) {
+	workloadB := func(e *Engine) []string {
+		base := e.Now()
+		r := NewResource(e, "mutex", 1)
+		var log []string
+		for i := 0; i < 6; i++ {
+			i := i
+			e.GoNamed("b", "", i, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					r.Acquire(p, 1)
+					log = append(log, fmt.Sprintf("%s@%v", p.Name(), time.Duration(p.Now()-base)))
+					p.Sleep(time.Duration(i+1) * time.Microsecond)
+					r.Release(1)
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+
+	fresh := NewEngine()
+	want := workloadB(fresh)
+
+	used := NewEngine()
+	// Workload A: sleepers, resource holders and never-woken waiters, then
+	// a mid-flight Drain that kills them all and recycles their workers.
+	ra := NewResource(used, "a", 2)
+	sig := NewSignal(used)
+	for i := 0; i < 8; i++ {
+		used.Go("a-sleep", func(p *Proc) {
+			for {
+				p.Sleep(5 * time.Microsecond)
+			}
+		})
+		used.Go("a-hold", func(p *Proc) {
+			ra.Acquire(p, 1)
+			defer ra.Release(1)
+			sig.Wait(p) // never fired: killed by Drain
+		})
+	}
+	used.RunFor(50 * time.Microsecond)
+	used.Drain()
+	if used.Live() != 0 {
+		t.Fatalf("live after drain = %d, want 0", used.Live())
+	}
+
+	got := workloadB(used)
+	if len(got) != len(want) {
+		t.Fatalf("reused engine log has %d entries, fresh has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaving diverges at %d: fresh %q vs reused %q", i, want[i], got[i])
+		}
+	}
+}

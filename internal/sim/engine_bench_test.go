@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The BenchmarkEngine* suite measures the engine's steady-state hot paths:
+// events/second (Schedule), park/resume switches/second (Sleep), pooled
+// spawn/complete cycles (GoSwitch), and queued resource handoffs
+// (ResourceContention). All report allocations; TestEngineSteadyStateAllocs
+// asserts they are zero in steady state.
+
+// BenchmarkEngineSchedule dispatches self-rescheduling fn events: the
+// engine-context event path (heap push/pop + dispatch), one event per op.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Nanosecond, fn)
+		}
+	}
+	e.Schedule(time.Nanosecond, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineSleep measures one park/resume switch per op: a process
+// sleeping in a loop (wake event + engine⇄process handoff).
+func BenchmarkEngineSleep(b *testing.B) {
+	e := NewEngine()
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineGoSwitch measures a full pooled spawn: Go + start event +
+// body + worker recycle per op, the cycle every EC sub-operation pays.
+func BenchmarkEngineGoSwitch(b *testing.B) {
+	e := NewEngine()
+	body := func(p *Proc) {}
+	e.Go("warm", body) // create the worker once
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Go("child", body)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineResourceContention measures queued acquire/release through
+// a capacity-1 resource under 4-way contention: intrusive wait-queue links,
+// grant wakeups and the FIFO handoff. One op is one acquire+hold+release.
+func BenchmarkEngineResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "mutex", 1)
+	const workers = 4
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		e.Go("worker", func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Acquire(p, 1)
+				p.Sleep(time.Nanosecond)
+				r.Release(1)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

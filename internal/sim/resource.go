@@ -3,12 +3,15 @@ package sim
 // Resource is a counted resource with a FIFO wait queue: a semaphore in
 // virtual time. A Resource with capacity 1 is a mutex (used for PG locks); a
 // Resource with capacity N models N servers (CPU cores, SSD queue slots).
+// Waiters are linked intrusively through their Proc, so contention allocates
+// nothing.
 type Resource struct {
 	e        *Engine
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*waiter // FIFO
+	waiters  procList // FIFO
+	queued   int
 
 	// Busy-time accounting for utilization reports.
 	busyArea  float64 // integral of inUse over time, in unit·ns
@@ -17,12 +20,6 @@ type Resource struct {
 	// Queueing statistics.
 	totalAcquires int64
 	totalWaits    int64 // acquires that had to queue
-}
-
-type waiter struct {
-	p       *Proc
-	n       int
-	granted bool
 }
 
 // NewResource creates a resource with the given capacity.
@@ -40,7 +37,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of waiting processes.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.queued }
 
 // Acquires returns the total number of Acquire calls granted so far.
 func (r *Resource) Acquires() int64 { return r.totalAcquires }
@@ -62,22 +59,24 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic("sim: invalid acquire count")
 	}
 	r.totalAcquires++
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.empty() && r.inUse+n <= r.capacity {
 		r.stamp()
 		r.inUse += n
 		return
 	}
 	r.totalWaits++
-	w := &waiter{p: p, n: n}
-	r.waiters = append(r.waiters, w)
+	p.waitN = n
+	p.waitGranted = false
+	r.waiters.push(p)
+	r.queued++
 	// If the process is killed while queued or just after being granted
 	// (Engine.Drain), undo its claim so the resource stays balanced.
 	defer func() {
 		if rec := recover(); rec != nil {
-			if w.granted {
+			if p.waitGranted {
 				r.Release(n)
-			} else {
-				r.removeWaiter(w)
+			} else if r.waiters.remove(p) {
+				r.queued--
 			}
 			panic(rec)
 		}
@@ -85,21 +84,12 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	p.park()
 }
 
-func (r *Resource) removeWaiter(w *waiter) {
-	for i, q := range r.waiters {
-		if q == w {
-			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
-			return
-		}
-	}
-}
-
 // TryAcquire takes n units if immediately available, reporting success.
 func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 || n > r.capacity {
 		panic("sim: invalid acquire count")
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.empty() && r.inUse+n <= r.capacity {
 		r.totalAcquires++
 		r.stamp()
 		r.inUse += n
@@ -116,13 +106,13 @@ func (r *Resource) Release(n int) {
 	}
 	r.stamp()
 	r.inUse -= n
-	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	for r.waiters.head != nil && r.inUse+r.waiters.head.waitN <= r.capacity {
+		w := r.waiters.pop()
+		r.queued--
 		r.stamp()
-		r.inUse += w.n
-		w.granted = true
-		r.e.wake(w.p)
+		r.inUse += w.waitN
+		w.waitGranted = true
+		r.e.wake(w)
 	}
 }
 
@@ -152,7 +142,7 @@ func (r *Resource) ResetStats() {
 type Latch struct {
 	e       *Engine
 	count   int
-	waiters []*Proc
+	waiters procList
 }
 
 // NewLatch creates a latch that opens after count Done calls. count zero
@@ -172,10 +162,9 @@ func (l *Latch) Done() {
 	}
 	l.count--
 	if l.count == 0 {
-		for _, p := range l.waiters {
+		for p := l.waiters.pop(); p != nil; p = l.waiters.pop() {
 			l.e.wake(p)
 		}
-		l.waiters = nil
 	}
 }
 
@@ -187,7 +176,13 @@ func (l *Latch) Wait(p *Proc) {
 	if l.count == 0 {
 		return
 	}
-	l.waiters = append(l.waiters, p)
+	l.waiters.push(p)
+	defer func() {
+		if rec := recover(); rec != nil {
+			l.waiters.remove(p) // killed while queued
+			panic(rec)
+		}
+	}()
 	p.park()
 }
 
@@ -196,7 +191,7 @@ func (l *Latch) Wait(p *Proc) {
 type Signal struct {
 	e       *Engine
 	fired   bool
-	waiters []*Proc
+	waiters procList
 }
 
 // NewSignal creates an unfired signal.
@@ -211,10 +206,9 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for _, p := range s.waiters {
+	for p := s.waiters.pop(); p != nil; p = s.waiters.pop() {
 		s.e.wake(p)
 	}
-	s.waiters = nil
 }
 
 // Wait blocks the process until the signal fires (returns immediately if it
@@ -223,6 +217,55 @@ func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.waiters.remove(p) // killed while queued
+			panic(rec)
+		}
+	}()
 	p.park()
+}
+
+// Waker is a reusable wakeup for one long-lived process: the process parks
+// with Wait, any engine- or process-context code releases it with Wake, and
+// the pair can repeat round after round (unlike the one-shot Signal). Wakes
+// with no process waiting are counted, so no round is ever lost: a process
+// that falls behind observes one immediate Wait return per missed Wake.
+// Periodic daemons (OSD heartbeats) use one Waker per process to be ticked
+// by a single scheduled callback instead of respawning per interval.
+type Waker struct {
+	e       *Engine
+	p       *Proc
+	pending int
+}
+
+// NewWaker creates a Waker with no process attached.
+func NewWaker(e *Engine) *Waker { return &Waker{e: e} }
+
+// Wait parks the process until the next Wake. If Wakes already arrived
+// since the last Wait, one is consumed and Wait returns immediately.
+func (w *Waker) Wait(p *Proc) {
+	if w.pending > 0 {
+		w.pending--
+		return
+	}
+	w.p = p
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.p = nil // killed while waiting
+			panic(rec)
+		}
+	}()
+	p.park()
+}
+
+// Wake releases the waiting process (or counts the wake if none waits yet).
+func (w *Waker) Wake() {
+	if w.p != nil {
+		w.e.wake(w.p)
+		w.p = nil
+		return
+	}
+	w.pending++
 }

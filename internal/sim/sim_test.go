@@ -432,6 +432,50 @@ func TestProcPanicPropagates(t *testing.T) {
 	e.Run()
 }
 
+// TestNestedRunPanics pins the re-entrancy guard: Run/RunUntil re-entered
+// from a Schedule callback must fail loudly (the baton-passing dispatch
+// cannot nest) rather than silently corrupt the outer run's bound.
+func TestNestedRunPanics(t *testing.T) {
+	e := NewEngine()
+	var nested any
+	e.Schedule(time.Millisecond, func() {
+		defer func() { nested = recover() }()
+		e.RunUntil(Time(2 * time.Millisecond))
+	})
+	e.Run()
+	if nested == nil {
+		t.Fatal("nested RunUntil from a callback must panic")
+	}
+}
+
+// TestScheduleFnPanicNotAttributedToProc pins engine-context panic
+// attribution: a panicking Schedule callback must surface verbatim from
+// Run even when a blocked process's goroutine holds the dispatch baton —
+// not unwind that process's body, not run its defers, and not be reported
+// as that process panicking.
+func TestScheduleFnPanicNotAttributedToProc(t *testing.T) {
+	e := NewEngine()
+	unwound := false
+	e.Go("innocent", func(p *Proc) {
+		defer func() { unwound = true }()
+		p.Sleep(time.Second) // the fn event below fires while we are parked
+	})
+	e.Schedule(time.Millisecond, func() { panic("tick boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("callback panic must propagate out of Run")
+		}
+		if s, ok := r.(string); !ok || s != "tick boom" {
+			t.Fatalf("panic value = %v, want the callback's own value", r)
+		}
+		if unwound {
+			t.Fatal("innocent process body must not be unwound by a callback panic")
+		}
+	}()
+	e.Run()
+}
+
 func TestTimeFormatting(t *testing.T) {
 	tm := Time(1500 * time.Millisecond)
 	if tm.Seconds() != 1.5 {

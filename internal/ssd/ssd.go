@@ -178,14 +178,16 @@ func New(e *sim.Engine, name string, cfg Config) (*Device, error) {
 		l2p:    make([]uint32, logicalPages),
 		busy:   &stats.Counter{},
 	}
-	for i := range d.l2p {
-		d.l2p[i] = unmapped
-	}
+	fillUnmapped(d.l2p)
+	// One backing array and one bulk fill for all per-block page maps:
+	// device construction is on the wall-clock path of every benchmark
+	// cell (a cluster builds one device per OSD).
+	backing := make([]block, physBlocks)
+	p2ls := make([]uint32, physBlocks*cfg.PagesPerBlock)
+	fillUnmapped(p2ls)
 	for i := range d.blocks {
-		d.blocks[i] = &block{p2l: make([]uint32, cfg.PagesPerBlock)}
-		for j := range d.blocks[i].p2l {
-			d.blocks[i].p2l[j] = unmapped
-		}
+		backing[i].p2l = p2ls[i*cfg.PagesPerBlock : (i+1)*cfg.PagesPerBlock]
+		d.blocks[i] = &backing[i]
 	}
 	for i := physBlocks - 1; i >= 1; i-- {
 		d.free = append(d.free, i)
@@ -197,6 +199,18 @@ func New(e *sim.Engine, name string, cfg Config) (*Device, error) {
 	d.lastReadEnd = -1
 	d.lastWriteEnd = -1
 	return d, nil
+}
+
+// fillUnmapped sets every entry to unmapped with doubling copy() spans
+// (memmove) instead of a per-element store loop.
+func fillUnmapped(s []uint32) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = unmapped
+	for n := 1; n < len(s); n *= 2 {
+		copy(s[n:], s[:n])
+	}
 }
 
 // Name returns the device name.

@@ -528,13 +528,13 @@ func (r *scenarioRun) startJob(sj *scenJob, nphases int) *jobState {
 
 	jobStart := r.start + sim.Time(js.sj.start)
 	if job.Rate > 0 {
-		r.e.Go(fmt.Sprintf("fio/%s/arrivals", job.Name), func(p *sim.Proc) {
+		r.e.GoNamed("fio/arrivals", job.Name, -1, func(p *sim.Proc) {
 			r.dispatchOpenLoop(p, js, jobStart)
 		})
 		return js
 	}
 	for w := 0; w < job.QueueDepth; w++ {
-		r.e.Go(fmt.Sprintf("fio/%s/%d", job.Name, w), func(p *sim.Proc) {
+		r.e.GoNamed("fio", job.Name, w, func(p *sim.Proc) {
 			p.SleepUntil(jobStart)
 			for p.Now() < js.windowEnd {
 				off, op := r.nextOp(js)
@@ -629,7 +629,7 @@ func (r *scenarioRun) dispatchOpenLoop(p *sim.Proc, js *jobState, jobStart sim.T
 	seq := 0
 	for p.Now() < js.windowEnd {
 		off, op := r.nextOp(js)
-		r.e.Go(fmt.Sprintf("fio/%s/arr%d", job.Name, seq), func(ap *sim.Proc) {
+		r.e.GoNamed("fio/arr", job.Name, seq, func(ap *sim.Proc) {
 			r.doOp(ap, js, off, op)
 		})
 		seq++
