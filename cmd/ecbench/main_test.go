@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestChooseMode(t *testing.T) {
+	ok := []struct {
+		f    modeFlags
+		want string
+	}{
+		{modeFlags{}, "figures"},
+		{modeFlags{FigSet: true}, "figures"},
+		{modeFlags{Scenarios: true}, "scenarios"},
+		{modeFlags{Ablations: true}, "ablations"},
+		{modeFlags{Sweep: true}, "sweep"},
+		{modeFlags{Compare: true}, "compare"},
+		{modeFlags{Merge: true}, "merge"},
+	}
+	for _, c := range ok {
+		got, err := chooseMode(c.f)
+		if err != nil || got != c.want {
+			t.Errorf("chooseMode(%+v) = %q, %v; want %q", c.f, got, err, c.want)
+		}
+	}
+	// Contradictory combinations must be usage errors, not silently
+	// resolved (the old behaviour ran one mode and ignored the other).
+	bad := []modeFlags{
+		{Compare: true, Scenarios: true},
+		{Compare: true, Sweep: true},
+		{Compare: true, Merge: true},
+		{Scenarios: true, Ablations: true},
+		{Sweep: true, Ablations: true},
+		{FigSet: true, Scenarios: true},
+		{FigSet: true, Compare: true},
+		{FigSet: true, Sweep: true},
+		{Compare: true, Scenarios: true, Sweep: true},
+	}
+	for _, f := range bad {
+		if mode, err := chooseMode(f); err == nil {
+			t.Errorf("chooseMode(%+v) = %q, want conflict error", f, mode)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, c := range []struct {
+		in         string
+		idx, count int
+	}{
+		{"", 0, 1},
+		{"0/1", 0, 1},
+		{"0/4", 0, 4},
+		{"3/4", 3, 4},
+	} {
+		idx, count, err := parseShard(c.in)
+		if err != nil || idx != c.idx || count != c.count {
+			t.Errorf("parseShard(%q) = %d, %d, %v; want %d, %d", c.in, idx, count, err, c.idx, c.count)
+		}
+	}
+	for _, in := range []string{"1", "x/2", "1/x", "2/2", "-1/2", "0/0", "0/-1"} {
+		if _, _, err := parseShard(in); err == nil {
+			t.Errorf("parseShard(%q) accepted", in)
+		}
+	}
+}

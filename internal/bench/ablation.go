@@ -66,14 +66,7 @@ func (s *Suite) RunAllAblations() ([]Table, error) {
 func (s *Suite) ablationRun(profile core.Profile, mutate func(*core.Config),
 	job workload.Job, prefill bool) (Cell, error) {
 	started := time.Now()
-	cfg := core.DefaultConfig()
-	cfg.DeviceCapacity = s.Opt.deviceCapacity()
-	cfg.Device.Capacity = cfg.DeviceCapacity
-	cfg.PGsPerPool = s.Opt.PGs
-	cfg.Seed = s.Opt.Seed
-	if s.Opt.Cost != nil {
-		cfg.Cost = *s.Opt.Cost
-	}
+	cfg := s.baseConfig(s.Opt.Seed)
 	s.applyCodecConfig(&cfg, profile)
 	if mutate != nil {
 		mutate(&cfg)

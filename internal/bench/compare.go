@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thresholds are the noise-aware regression gates ecbench -compare holds a
+// new report to. Simulated per-cell metrics are deterministic for a given
+// binary, so their thresholds flag real behaviour changes (an intended
+// model change fails the gate and forces a deliberate baseline refresh);
+// the engine events/sec gate watches wall-clock throughput and must stay
+// loose enough for shared CI runners.
+type Thresholds struct {
+	// ThroughputDropFrac fails a cell whose MB/s fell by more than this
+	// fraction of the old value.
+	ThroughputDropFrac float64
+	// LatencyRiseFrac fails a cell whose mean or p99 latency rose by more
+	// than this fraction.
+	LatencyRiseFrac float64
+	// EventsPerSecDropFrac fails the report when aggregate engine
+	// events/sec fell by more than this fraction (timing-based; loose).
+	EventsPerSecDropFrac float64
+}
+
+// DefaultThresholds returns the gates CI uses: 10% throughput, 15%
+// latency, 50% engine events/sec.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		ThroughputDropFrac:   0.10,
+		LatencyRiseFrac:      0.15,
+		EventsPerSecDropFrac: 0.50,
+	}
+}
+
+// withDefaults fills every unset (zero) threshold with its default, so
+// overriding one gate (ecbench -thr-events) leaves the others at their
+// documented values instead of silently zero-tolerance.
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.ThroughputDropFrac == 0 {
+		t.ThroughputDropFrac = d.ThroughputDropFrac
+	}
+	if t.LatencyRiseFrac == 0 {
+		t.LatencyRiseFrac = d.LatencyRiseFrac
+	}
+	if t.EventsPerSecDropFrac == 0 {
+		t.EventsPerSecDropFrac = d.EventsPerSecDropFrac
+	}
+	return t
+}
+
+// Regression is one failed gate.
+type Regression struct {
+	Cell   string  `json:"cell,omitempty"` // empty for report-level gates
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Limit  float64 `json:"limit"` // the boundary the new value crossed
+}
+
+func (r Regression) String() string {
+	where := "report"
+	if r.Cell != "" {
+		where = r.Cell
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (limit %.4g)", where, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// CompareResult is the outcome of diffing two reports.
+type CompareResult struct {
+	Regressions []Regression `json:"regressions"`
+	// MissingCells are cells the old report had and the new one lost —
+	// coverage loss, counted as regressions too.
+	MissingCells []string `json:"missing_cells,omitempty"`
+	// NewCells are cells only the new report has (informational).
+	NewCells []string `json:"new_cells,omitempty"`
+	// Identical reports whether the two deterministic payloads match
+	// exactly (same digest).
+	Identical bool   `json:"identical"`
+	OldDigest string `json:"old_digest"`
+	NewDigest string `json:"new_digest"`
+}
+
+// Ok reports whether the new report passes every gate.
+func (c *CompareResult) Ok() bool {
+	return len(c.Regressions) == 0 && len(c.MissingCells) == 0
+}
+
+// Format renders a human-readable verdict.
+func (c *CompareResult) Format() string {
+	var b strings.Builder
+	if c.Identical {
+		b.WriteString("reports are deterministically identical (digest " + c.NewDigest + ")\n")
+	} else {
+		fmt.Fprintf(&b, "deterministic digests differ: old %s, new %s\n", c.OldDigest, c.NewDigest)
+	}
+	for _, m := range c.MissingCells {
+		fmt.Fprintf(&b, "MISSING cell %s (present in old report)\n", m)
+	}
+	for _, n := range c.NewCells {
+		fmt.Fprintf(&b, "new cell %s (not in old report)\n", n)
+	}
+	for _, r := range c.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %s\n", r.String())
+	}
+	if c.Ok() {
+		b.WriteString("no regressions\n")
+	} else {
+		fmt.Fprintf(&b, "%d regression(s), %d missing cell(s)\n", len(c.Regressions), len(c.MissingCells))
+	}
+	return b.String()
+}
+
+// CompareReports diffs two reports cell by cell under the thresholds
+// (zero-value thresholds select DefaultThresholds). Reports must share the
+// schema version; differing run configs or grids are an error, because a
+// cell-wise comparison would be meaningless.
+func CompareReports(old, new *BenchReport, th Thresholds) (*CompareResult, error) {
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("bench: compare: schema versions differ (%d vs %d)", old.SchemaVersion, new.SchemaVersion)
+	}
+	if old.Config != new.Config {
+		return nil, fmt.Errorf("bench: compare: run configs differ\nold: %+v\nnew: %+v", old.Config, new.Config)
+	}
+	if !old.Grid.equal(new.Grid) {
+		return nil, fmt.Errorf("bench: compare: grids differ")
+	}
+	th = th.withDefaults()
+	res := &CompareResult{
+		OldDigest: old.DeterministicDigest(),
+		NewDigest: new.DeterministicDigest(),
+	}
+	res.Identical = res.OldDigest == res.NewDigest
+
+	newByID := map[string]*CellReport{}
+	for i := range new.Cells {
+		newByID[new.Cells[i].ID] = &new.Cells[i]
+	}
+	oldSeen := map[string]bool{}
+	for i := range old.Cells {
+		oc := &old.Cells[i]
+		oldSeen[oc.ID] = true
+		nc, ok := newByID[oc.ID]
+		if !ok {
+			res.MissingCells = append(res.MissingCells, oc.ID)
+			continue
+		}
+		res.Regressions = append(res.Regressions, compareCell(oc, nc, th)...)
+	}
+	for i := range new.Cells {
+		if !oldSeen[new.Cells[i].ID] {
+			res.NewCells = append(res.NewCells, new.Cells[i].ID)
+		}
+	}
+
+	// Engine throughput gate: timing-based, so only when both sides
+	// actually measured it.
+	if old.Engine.EventsPerSec > 0 && new.Engine.EventsPerSec > 0 {
+		limit := old.Engine.EventsPerSec * (1 - th.EventsPerSecDropFrac)
+		if new.Engine.EventsPerSec < limit {
+			res.Regressions = append(res.Regressions, Regression{
+				Metric: "engine_events_per_sec",
+				Old:    old.Engine.EventsPerSec,
+				New:    new.Engine.EventsPerSec,
+				Limit:  limit,
+			})
+		}
+	}
+
+	// Cross-cell paper checks: a band that passed before must not start
+	// failing.
+	oldChecks := map[string]bool{}
+	for _, ch := range old.Checks {
+		oldChecks[ch.Figure+"/"+ch.Metric] = ch.Pass
+	}
+	for _, ch := range new.Checks {
+		if oldChecks[ch.Figure+"/"+ch.Metric] && !ch.Pass {
+			res.Regressions = append(res.Regressions, Regression{
+				Metric: "paper_check " + ch.Figure + "/" + ch.Metric,
+				Old:    1, New: 0, Limit: 1,
+			})
+		}
+	}
+	return res, nil
+}
+
+// compareCell gates one matched cell pair.
+func compareCell(oc, nc *CellReport, th Thresholds) []Regression {
+	var out []Regression
+	if oc.MBps > 0 {
+		limit := oc.MBps * (1 - th.ThroughputDropFrac)
+		if nc.MBps < limit {
+			out = append(out, Regression{Cell: oc.ID, Metric: "mbps", Old: oc.MBps, New: nc.MBps, Limit: limit})
+		}
+	}
+	for _, lat := range []struct {
+		name     string
+		old, new float64
+	}{
+		{"mean_latency_us", oc.MeanLatencyUS, nc.MeanLatencyUS},
+		{"p99_latency_us", oc.P99LatencyUS, nc.P99LatencyUS},
+	} {
+		if lat.old <= 0 {
+			continue
+		}
+		limit := lat.old * (1 + th.LatencyRiseFrac)
+		if lat.new > limit {
+			out = append(out, Regression{Cell: oc.ID, Metric: lat.name, Old: lat.old, New: lat.new, Limit: limit})
+		}
+	}
+	if nc.Errors > oc.Errors {
+		out = append(out, Regression{Cell: oc.ID, Metric: "errors",
+			Old: float64(oc.Errors), New: float64(nc.Errors), Limit: float64(oc.Errors)})
+	}
+	// Per-cell paper bands: pass → fail is a regression.
+	oldPass := map[string]bool{}
+	for _, ch := range oc.Checks {
+		oldPass[ch.Figure+"/"+ch.Metric] = ch.Pass
+	}
+	for _, ch := range nc.Checks {
+		if oldPass[ch.Figure+"/"+ch.Metric] && !ch.Pass {
+			out = append(out, Regression{Cell: oc.ID,
+				Metric: "paper_check " + ch.Figure + "/" + ch.Metric, Old: 1, New: 0, Limit: 1})
+		}
+	}
+	return out
+}

@@ -4,6 +4,15 @@
 // (scheme, pattern, op, block size) cell; all figure builders read from the
 // shared cells, mirroring how the paper derives its many views from the
 // same FIO campaigns.
+//
+// Beyond single figures, the sweep subsystem (sweep.go) runs full
+// cross-product campaigns — up to the paper-scale 52-OSD grid over
+// schemes, patterns, ops, the 1 KB..128 KB block sweep, stripe units and
+// codec-kernel tiers — with independently-seeded, shardable cells, and
+// serializes each run as a versioned machine-readable BenchReport
+// (report.go, BENCH_*.json). CompareReports (compare.go) diffs two
+// reports under noise-aware thresholds: the regression gate CI applies
+// across commits (see README "Bench trajectory").
 package bench
 
 import (
@@ -67,6 +76,15 @@ type Options struct {
 	// comparisons; when on, every produced table (and its CSV) carries a
 	// note recording the measured MB/s and the kernel that produced it.
 	CalibrateEncode bool
+
+	// StorageNodes and OSDsPerNode override the cluster shape (0 = the
+	// core.DefaultConfig testbed: 4 nodes × 6 OSDs). The paper-scale sweep
+	// preset sets them to the full 52-SSD array (4 × 13).
+	StorageNodes int
+	OSDsPerNode  int
+	// StripeUnit overrides the EC chunk size in bytes (0 = the paper's
+	// 4 KiB default). A sweep axis in the paper-scale grid.
+	StripeUnit int64
 }
 
 // PaperBlockSizes is the paper's 1 KB..128 KB sweep.
@@ -87,6 +105,17 @@ func Quick() Options {
 		Ramp:       300 * time.Millisecond,
 		Seed:       1,
 	}
+}
+
+// Smoke returns options sized for CI smoke runs: the Tiny shape with a
+// shorter window, so a whole smoke-scale sweep finishes in tens of seconds
+// on a shared runner while still exercising every mechanism (this is the
+// scale the bench-trajectory CI job gates on).
+func Smoke() Options {
+	o := Tiny()
+	o.Duration = 400 * time.Millisecond
+	o.Ramp = 100 * time.Millisecond
+	return o
 }
 
 // Tiny returns the smallest meaningful options, for unit tests and
@@ -210,12 +239,20 @@ type calibration struct {
 	workers int
 }
 
+// calKey identifies one calibration measurement. The kernel is part of
+// the key because the sweep's codec-kernel axis measures each tier
+// separately (a gfni measurement must not be reused for a scalar cell).
+type calKey struct {
+	k, m   int
+	kernel string
+}
+
 // Suite runs and caches cells.
 type Suite struct {
 	Opt   Options
 	cells map[Key]Cell
 	ssd   map[Key]Cell // bare-SSD baseline cells (scheme "SSD")
-	mbps  map[[2]int]calibration
+	mbps  map[calKey]calibration
 	eng   engineStats
 }
 
@@ -240,7 +277,7 @@ func NewSuite(opt Options) (*Suite, error) {
 		}
 		gf.SetKernel(k)
 	}
-	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}, mbps: map[[2]int]calibration{}}, nil
+	return &Suite{Opt: opt, cells: map[Key]Cell{}, ssd: map[Key]Cell{}, mbps: map[calKey]calibration{}}, nil
 }
 
 // encodeMBps measures (and caches) the real codec's per-parity-row encode
@@ -249,7 +286,7 @@ func NewSuite(opt Options) (*Suite, error) {
 // backend encodes at — and is normalized per parity row to match the cost
 // model's EncodePerKB semantics.
 func (s *Suite) encodeMBps(k, m int) float64 {
-	key := [2]int{k, m}
+	key := calKey{k: k, m: m, kernel: gf.ActiveKernel().String()}
 	if v, ok := s.mbps[key]; ok {
 		return v.mbps
 	}
@@ -263,7 +300,7 @@ func (s *Suite) encodeMBps(k, m int) float64 {
 	}
 	v := rs.MeasureEncodeMBps(code.WithConcurrency(s.Opt.CodecConcurrency), 64<<10, 60*time.Millisecond)
 	v *= float64(m) // data MB/s → per-parity-row MB/s
-	s.mbps[key] = calibration{k: k, m: m, mbps: v, kernel: gf.ActiveKernel().String(), workers: workers}
+	s.mbps[key] = calibration{k: k, m: m, mbps: v, kernel: key.kernel, workers: workers}
 	return v
 }
 
@@ -272,27 +309,48 @@ func (s *Suite) encodeMBps(k, m int) float64 {
 // paper-band comparisons must say which codec generated them). Empty when
 // nothing was calibrated.
 func (s *Suite) CalibrationNotes() []string {
-	if len(s.mbps) == 0 {
-		return nil
-	}
-	keys := make([][2]int, 0, len(s.mbps))
-	for k := range s.mbps {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	notes := make([]string, 0, len(keys))
-	for _, key := range keys {
-		c := s.mbps[key]
+	notes := make([]string, 0, len(s.mbps))
+	for _, c := range s.sortedCalibrations() {
 		notes = append(notes, fmt.Sprintf(
 			"encode cost calibrated from measured codec: RS(%d,%d) %.0f MB/s per parity row (kernel=%s simd=%v gfni=%v workers=%d)",
 			c.k, c.m, c.mbps, c.kernel, gf.Accelerated(), gf.HasGFNI(), c.workers))
 	}
+	if len(notes) == 0 {
+		return nil
+	}
 	return notes
+}
+
+// sortedCalibrations returns every cached calibration in (k, m, kernel)
+// order.
+func (s *Suite) sortedCalibrations() []calibration {
+	keys := make([]calKey, 0, len(s.mbps))
+	for k := range s.mbps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].k != keys[j].k {
+			return keys[i].k < keys[j].k
+		}
+		if keys[i].m != keys[j].m {
+			return keys[i].m < keys[j].m
+		}
+		return keys[i].kernel < keys[j].kernel
+	})
+	out := make([]calibration, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.mbps[k])
+	}
+	return out
+}
+
+// calibrationInfo renders the cached calibrations in report form.
+func (s *Suite) calibrationInfo() []CalibrationInfo {
+	var out []CalibrationInfo
+	for _, c := range s.sortedCalibrations() {
+		out = append(out, CalibrationInfo{K: c.k, M: c.m, MBps: c.mbps, Kernel: c.kernel, Workers: c.workers})
+	}
+	return out
 }
 
 // applyCodecConfig wires the suite's codec knobs — and, when calibrating
@@ -348,23 +406,39 @@ func (s *Suite) Cell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs
 	return c, nil
 }
 
-// clusterFor builds a fresh cluster+image for one cell run.
-func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.Image, error) {
+// baseConfig builds the cluster config every suite run starts from: the
+// option overrides (device capacity, PG count, cluster shape, stripe unit,
+// cost model) applied over core.DefaultConfig, with the given seed.
+func (s *Suite) baseConfig(seed int64) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.DeviceCapacity = s.Opt.deviceCapacity()
 	cfg.Device.Capacity = cfg.DeviceCapacity
 	cfg.PGsPerPool = s.Opt.PGs
-	cfg.Seed = s.Opt.Seed + seedSalt
+	cfg.Seed = seed
+	if s.Opt.StorageNodes > 0 {
+		cfg.StorageNodes = s.Opt.StorageNodes
+	}
+	if s.Opt.OSDsPerNode > 0 {
+		cfg.OSDsPerNode = s.Opt.OSDsPerNode
+	}
+	if s.Opt.StripeUnit > 0 {
+		cfg.StripeUnit = s.Opt.StripeUnit
+	}
 	if s.Opt.Cost != nil {
 		cfg.Cost = *s.Opt.Cost
 	}
-	s.applyCodecConfig(&cfg, scheme.Profile)
+	return cfg
+}
+
+// clusterWith builds a fresh cluster+image from an explicit config (the
+// codec knobs already applied by the caller via applyCodecConfig).
+func (s *Suite) clusterWith(cfg core.Config, profile core.Profile) (*core.Cluster, *core.Image, error) {
 	e := sim.NewEngine()
 	c, err := core.New(e, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := c.CreatePool("data", scheme.Profile); err != nil {
+	if _, err := c.CreatePool("data", profile); err != nil {
 		return nil, nil, err
 	}
 	img, err := c.CreateImage("data", "bench", s.Opt.ImageSize)
@@ -372,6 +446,13 @@ func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.
 		return nil, nil, err
 	}
 	return c, img, nil
+}
+
+// clusterFor builds a fresh cluster+image for one cell run.
+func (s *Suite) clusterFor(scheme Scheme, seedSalt int64) (*core.Cluster, *core.Image, error) {
+	cfg := s.baseConfig(s.Opt.Seed + seedSalt)
+	s.applyCodecConfig(&cfg, scheme.Profile)
+	return s.clusterWith(cfg, scheme.Profile)
 }
 
 func (s *Suite) runCell(scheme Scheme, pattern workload.Pattern, op workload.Op, bs int64) (Cell, error) {

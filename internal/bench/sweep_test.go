@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ecarray/internal/workload"
+)
+
+// microSweepOptions is the smallest sweep shape: enough simulated work for
+// non-zero metrics, small enough that the determinism tests rerun the grid
+// several times in a few seconds.
+func microSweepOptions() Options {
+	return Options{
+		BlockSizes: []int64{4 << 10},
+		QueueDepth: 32,
+		ImageSize:  256 << 20,
+		PGs:        64,
+		Duration:   150 * time.Millisecond,
+		Ramp:       50 * time.Millisecond,
+		Seed:       7,
+	}
+}
+
+// microGrid is the tiny 2×2 grid (2 ops × 2 block sizes) of one EC scheme.
+func microGrid() Grid {
+	return Grid{
+		Schemes:     []string{"RS(6,3)"},
+		Patterns:    []string{workload.Random.String()},
+		Ops:         []string{workload.Read.String(), workload.Write.String()},
+		BlockSizes:  []int64{4 << 10, 16 << 10},
+		StripeUnits: []int64{4 << 10},
+		Kernels:     []string{"auto"},
+	}
+}
+
+func runMicroSweep(t *testing.T, shardIdx, shardCount int) *BenchReport {
+	t.Helper()
+	s, err := NewSuite(microSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunSweep("micro", microGrid(), shardIdx, shardCount, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSweepPresets(t *testing.T) {
+	for _, name := range []string{"smoke", "quick", "paper"} {
+		opt, g, err := SweepPreset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := opt.validate(); err != nil {
+			t.Fatalf("%s options invalid: %v", name, err)
+		}
+		if err := g.validate(); err != nil {
+			t.Fatalf("%s grid invalid: %v", name, err)
+		}
+		if len(g.Cells()) == 0 {
+			t.Fatalf("%s grid enumerates no cells", name)
+		}
+	}
+	if _, _, err := SweepPreset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	// The paper preset runs the full 52-SSD array and the paper block sweep.
+	opt, g, _ := SweepPreset("paper")
+	if opt.StorageNodes*opt.OSDsPerNode != 52 {
+		t.Fatalf("paper preset OSDs = %d, want 52", opt.StorageNodes*opt.OSDsPerNode)
+	}
+	if len(g.BlockSizes) != 8 || len(g.StripeUnits) < 2 {
+		t.Fatalf("paper grid too small: %+v", g)
+	}
+	// The kernel axis must be the fixed ladder, never host-detected:
+	// otherwise the shard-to-cell mapping differs across machines and
+	// heterogeneous shards stop merging.
+	if len(g.Kernels) != 4 {
+		t.Fatalf("paper kernel axis = %v, want the full fixed ladder", g.Kernels)
+	}
+}
+
+func TestGridEnumeration(t *testing.T) {
+	g := Grid{
+		Schemes:     []string{"3-Rep", "RS(6,3)"},
+		Patterns:    []string{"rand"},
+		Ops:         []string{"write"},
+		BlockSizes:  []int64{4096},
+		StripeUnits: []int64{4 << 10, 16 << 10},
+		Kernels:     []string{"auto"},
+	}
+	cells := g.Cells()
+	// Replicated schemes run only the first stripe unit: 1 + 2 cells.
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3 (stripe unit must be an EC-only axis): %+v", len(cells), cells)
+	}
+	ids := map[string]bool{}
+	for _, c := range cells {
+		if ids[c.ID()] {
+			t.Fatalf("duplicate cell id %s", c.ID())
+		}
+		ids[c.ID()] = true
+	}
+	bad := []Grid{
+		{},
+		{Schemes: []string{"bogus"}, Patterns: []string{"rand"}, Ops: []string{"read"},
+			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"auto"}},
+		{Schemes: []string{"3-Rep"}, Patterns: []string{"diagonal"}, Ops: []string{"read"},
+			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"auto"}},
+		{Schemes: []string{"3-Rep"}, Patterns: []string{"rand"}, Ops: []string{"trim"},
+			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"auto"}},
+		{Schemes: []string{"3-Rep"}, Patterns: []string{"rand"}, Ops: []string{"read"},
+			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"warp"}},
+	}
+	for i, g := range bad {
+		if err := g.validate(); err == nil {
+			t.Errorf("bad grid %d accepted", i)
+		}
+	}
+}
+
+// TestSweepDeterminism is the contract the whole trajectory rests on: the
+// same binary, grid and seed produce byte-identical report cells modulo
+// host/timing fields — run twice in one process, and run shard-split then
+// merged.
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs are slow")
+	}
+	full1 := runMicroSweep(t, 0, 1)
+	full2 := runMicroSweep(t, 0, 1)
+	if len(full1.Cells) != 4 {
+		t.Fatalf("micro sweep cells = %d, want 4", len(full1.Cells))
+	}
+	j1, _ := json.Marshal(full1.stripTiming())
+	j2, _ := json.Marshal(full2.stripTiming())
+	if string(j1) != string(j2) {
+		t.Fatalf("two identical sweep runs differ:\n%s\n%s", j1, j2)
+	}
+	if full1.DeterministicDigest() != full2.DeterministicDigest() {
+		t.Fatal("digests differ across identical runs")
+	}
+
+	// Shard 2-ways, merge, and require the same deterministic payload.
+	shard0 := runMicroSweep(t, 0, 2)
+	shard1 := runMicroSweep(t, 1, 2)
+	if len(shard0.Cells)+len(shard1.Cells) != len(full1.Cells) {
+		t.Fatalf("shards cover %d+%d cells, want %d",
+			len(shard0.Cells), len(shard1.Cells), len(full1.Cells))
+	}
+	merged, err := MergeReports(shard0, shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, _ := json.Marshal(merged.stripTiming())
+	if string(jm) != string(j1) {
+		t.Fatalf("sharded+merged sweep differs from unsharded run:\n%s\n%s", jm, j1)
+	}
+	if merged.DeterministicDigest() != full1.DeterministicDigest() {
+		t.Fatal("merged digest differs from unsharded digest")
+	}
+	// Every cell must have done real work.
+	for _, c := range full1.Cells {
+		if c.Ops == 0 || c.MBps <= 0 || c.EngineEvents == 0 {
+			t.Fatalf("empty cell %s: %+v", c.ID, c)
+		}
+	}
+}
+
+func TestSweepShardValidation(t *testing.T) {
+	s, err := NewSuite(microSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunSweep("micro", microGrid(), 2, 2, nil); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := s.RunSweep("micro", Grid{}, 0, 1, nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestReportRoundTripAndSchemaGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs are slow")
+	}
+	r := runMicroSweep(t, 0, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DeterministicDigest() != r.DeterministicDigest() {
+		t.Fatal("round-tripped report digest differs")
+	}
+	// A report from another schema generation must be refused.
+	back.SchemaVersion = ReportSchemaVersion + 1
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	data, _ := json.Marshal(back)
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("mismatched schema version accepted")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs are slow")
+	}
+	r := runMicroSweep(t, 0, 1)
+
+	// Same SHA, same run: zero regressions, identical payloads.
+	self, err := CompareReports(r, r, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !self.Ok() || !self.Identical {
+		t.Fatalf("self-compare not clean: %s", self.Format())
+	}
+
+	// A synthetic >threshold throughput drop must fail the gate.
+	worse := cloneReport(t, r)
+	worse.Cells[0].MBps *= 0.5
+	res, err := CompareReports(r, worse, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatalf("50%% throughput drop passed the gate: %s", res.Format())
+	}
+	found := false
+	for _, reg := range res.Regressions {
+		if reg.Metric == "mbps" && reg.Cell == worse.Cells[0].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mbps regression not attributed to the right cell: %+v", res.Regressions)
+	}
+
+	// A sub-threshold wiggle passes.
+	wiggle := cloneReport(t, r)
+	wiggle.Cells[0].MBps *= 0.95
+	res, err = CompareReports(r, wiggle, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("5%% wiggle failed the 10%% gate: %s", res.Format())
+	}
+
+	// Overriding one threshold must leave the others at their defaults,
+	// not at zero tolerance (the CI invocation sets only -thr-events).
+	res, err = CompareReports(r, wiggle, Thresholds{EventsPerSecDropFrac: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("5%% wiggle failed when only the events threshold was set: %s", res.Format())
+	}
+
+	// Latency rises fail too.
+	slow := cloneReport(t, r)
+	slow.Cells[1].P99LatencyUS *= 2
+	res, err = CompareReports(r, slow, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatal("2x p99 latency rise passed the gate")
+	}
+
+	// Lost coverage fails.
+	lost := cloneReport(t, r)
+	lost.Cells = lost.Cells[1:]
+	res, err = CompareReports(r, lost, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() || len(res.MissingCells) != 1 {
+		t.Fatalf("missing cell not flagged: %s", res.Format())
+	}
+
+	// An engine events/sec collapse fails (timing gate).
+	slowEng := cloneReport(t, r)
+	slowEng.Engine.EventsPerSec = r.Engine.EventsPerSec * 0.1
+	res, err = CompareReports(r, slowEng, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatal("90% engine events/sec drop passed the gate")
+	}
+
+	// Mismatched configs refuse to compare at all.
+	other := cloneReport(t, r)
+	other.Config.Seed++
+	if _, err := CompareReports(r, other, Thresholds{}); err == nil {
+		t.Fatal("config mismatch compared anyway")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs are slow")
+	}
+	r := runMicroSweep(t, 0, 1)
+	if _, err := MergeReports(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	// Merging a report with itself dedupes identical cells.
+	m, err := MergeReports(r, cloneReport(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != len(r.Cells) {
+		t.Fatalf("self-merge cells = %d, want %d", len(m.Cells), len(r.Cells))
+	}
+	// A conflicting duplicate cell is a determinism violation, not mergeable.
+	evil := cloneReport(t, r)
+	evil.Cells[0].Ops++
+	if _, err := MergeReports(r, evil); err == nil {
+		t.Fatal("conflicting duplicate cell merged silently")
+	}
+	// Different run shapes don't merge.
+	other := cloneReport(t, r)
+	other.Config.QueueDepth++
+	if _, err := MergeReports(r, other); err == nil {
+		t.Fatal("config mismatch merged")
+	}
+}
+
+// cloneReport deep-copies a report through JSON.
+func cloneReport(t *testing.T, r *BenchReport) *BenchReport {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BenchReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}

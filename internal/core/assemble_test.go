@@ -69,15 +69,15 @@ func TestAssembleReadDifferential(t *testing.T) {
 	}
 	total := g.stripes * g.stripeWidth
 	cases := [][2]int64{
-		{0, total},                          // whole object
-		{0, g.stripeWidth},                  // one stripe
-		{g.unit, g.unit},                    // one chunk, aligned
-		{3, 5},                              // sub-unit
-		{g.unit - 1, 2},                     // chunk boundary straddle
-		{g.stripeWidth - 3, 7},              // stripe boundary straddle
-		{g.stripeWidth * 2, g.stripeWidth},  // fully-missing stripe
-		{g.stripeWidth*2 - 5, g.unit * 9},   // spans missing stripe
-		{total - 1, 1},                      // last byte
+		{0, total},                           // whole object
+		{0, g.stripeWidth},                   // one stripe
+		{g.unit, g.unit},                     // one chunk, aligned
+		{3, 5},                               // sub-unit
+		{g.unit - 1, 2},                      // chunk boundary straddle
+		{g.stripeWidth - 3, 7},               // stripe boundary straddle
+		{g.stripeWidth * 2, g.stripeWidth},   // fully-missing stripe
+		{g.stripeWidth*2 - 5, g.unit * 9},    // spans missing stripe
+		{total - 1, 1},                       // last byte
 		{g.unit*3 + 11, g.stripeWidth*3 + 1}, // long unaligned
 	}
 	for i := 0; i < 64; i++ {
@@ -161,11 +161,11 @@ func TestBuildShardWritesDifferential(t *testing.T) {
 
 	type span struct{ off, length int64 }
 	spans := []span{
-		{0, g.stripeWidth},                 // aligned full stripe
-		{5000, 3000},                       // the determinism workload's overwrite
-		{g.unit + 3, g.unit * 2},           // chunk-straddling
-		{g.stripeWidth - 7, 14},            // stripe-straddling
-		{0, g.stripeWidth * 3},             // multiple aligned stripes
+		{0, g.stripeWidth},                       // aligned full stripe
+		{5000, 3000},                             // the determinism workload's overwrite
+		{g.unit + 3, g.unit * 2},                 // chunk-straddling
+		{g.stripeWidth - 7, 14},                  // stripe-straddling
+		{0, g.stripeWidth * 3},                   // multiple aligned stripes
 		{g.stripeWidth*2 + 1, g.stripeWidth + 5}, // unaligned multi-stripe
 	}
 	for i := 0; i < 24; i++ {

@@ -115,6 +115,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// TotalOSDs returns the cluster's OSD (and device) count.
+func (c *Config) TotalOSDs() int { return c.StorageNodes * c.OSDsPerNode }
+
+// PaperScaleConfig returns a cluster shaped like the paper's full 52-SSD
+// array (§III: the scalable testbed the headline sweeps run on): the four
+// storage nodes of DefaultConfig, but with 13 OSDs each for 52 devices
+// total. Everything else keeps the DefaultConfig calibration, so results
+// differ from the small cluster only through scale — more PG parallelism,
+// wider CRUSH placement, more aggregate flash. This is the shape behind
+// the bench package's paper-scale sweep preset.
+func PaperScaleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.OSDsPerNode = 13
+	return cfg
+}
+
 func (c *Config) validate() error {
 	switch {
 	case c.StorageNodes <= 0 || c.OSDsPerNode <= 0:

@@ -160,7 +160,11 @@ func (pl *Pool) readEC(p *sim.Proc, obj string, off, length int64) ([]byte, erro
 			prim.Workers.Release(1)
 			return nil, err
 		}
-		for s, chunks := range fetched {
+		// Insert in ascending stripe order: the cache evicts FIFO, so
+		// insertion order is simulated state — ranging over the map here
+		// would make eviction (and every later hit/miss) nondeterministic.
+		for s := ms0; s < ms1; s++ {
+			chunks := fetched[s]
 			pg.scache.put(stripeKey{obj, s}, chunks)
 			stripes[s] = chunks
 		}

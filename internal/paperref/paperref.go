@@ -137,3 +137,51 @@ func Compare(p Point, measured float64) string {
 	return fmt.Sprintf("%s/%s: paper %.3g, measured %.3g — %s",
 		p.Figure, p.Metric, p.Value, measured, p.Desc)
 }
+
+// CheckResult is one structured measured-vs-paper verdict: the reference
+// point, the measured value, the acceptance band it was held to and
+// whether it landed inside. This is the machine-readable form of the
+// comparisons that used to live only in table notes — bench reports embed
+// it per sweep cell so CI can diff paper-band pass/fail across commits.
+type CheckResult struct {
+	Figure   string  `json:"figure"`
+	Metric   string  `json:"metric"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Pass     bool    `json:"pass"`
+	Desc     string  `json:"desc"`
+}
+
+// CheckWithin checks a measured value against an explicit acceptance band
+// [lo, hi]. Bands are deliberately wide: they guard the paper's mechanisms
+// and directions, not its exact testbed numbers.
+func (p Point) CheckWithin(measured, lo, hi float64) CheckResult {
+	return CheckResult{
+		Figure:   p.Figure,
+		Metric:   p.Metric,
+		Paper:    p.Value,
+		Measured: measured,
+		Lo:       lo,
+		Hi:       hi,
+		Pass:     measured >= lo && measured <= hi,
+		Desc:     p.Desc,
+	}
+}
+
+// CheckBand checks a measured value against a multiplicative band around
+// the paper's value: [Value*loFactor, Value*hiFactor].
+func (p Point) CheckBand(measured, loFactor, hiFactor float64) CheckResult {
+	return p.CheckWithin(measured, p.Value*loFactor, p.Value*hiFactor)
+}
+
+// String renders the verdict on one line.
+func (r CheckResult) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %s/%s: measured %.3g in [%.3g, %.3g] (paper %.3g) — %s",
+		verdict, r.Figure, r.Metric, r.Measured, r.Lo, r.Hi, r.Paper, r.Desc)
+}

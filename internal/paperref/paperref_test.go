@@ -65,3 +65,32 @@ func TestCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckWithin(t *testing.T) {
+	p, _ := Lookup("fig15", "rs63_rand_4k") // paper 6.9
+	in := p.CheckWithin(6.0, 3, 9)
+	if !in.Pass || in.Measured != 6.0 || in.Paper != 6.9 || in.Lo != 3 || in.Hi != 9 {
+		t.Fatalf("in-band check wrong: %+v", in)
+	}
+	out := p.CheckWithin(12.0, 3, 9)
+	if out.Pass {
+		t.Fatalf("out-of-band check passed: %+v", out)
+	}
+	if s := out.String(); !strings.Contains(s, "FAIL") || !strings.Contains(s, "fig15") {
+		t.Fatalf("String missing verdict: %s", s)
+	}
+	if s := in.String(); !strings.Contains(s, "PASS") {
+		t.Fatalf("String missing verdict: %s", s)
+	}
+}
+
+func TestCheckBand(t *testing.T) {
+	p, _ := Lookup("fig7", "rs63_worse") // paper 3.4
+	r := p.CheckBand(3.0, 0.5, 2)
+	if !r.Pass || r.Lo != 1.7 || r.Hi != 6.8 {
+		t.Fatalf("band bounds wrong: %+v", r)
+	}
+	if r := p.CheckBand(10.0, 0.5, 2); r.Pass {
+		t.Fatalf("out-of-band passed: %+v", r)
+	}
+}

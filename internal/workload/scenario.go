@@ -614,14 +614,17 @@ func (r *scenarioRun) doOp(p *sim.Proc, js *jobState, off int64, op Op) {
 	}
 }
 
-// dispatchOpenLoop issues requests at fixed 1/Rate intervals regardless of
-// completions (FIO's rate_iops): each arrival runs as its own process, so
-// queueing shows up as latency instead of throttled arrivals. The offset
-// and op type are drawn in arrival order, keeping the stream
-// deterministic.
+// dispatchOpenLoop issues requests at the job's arrival process regardless
+// of completions (FIO's rate_iops): each arrival runs as its own process,
+// so queueing shows up as latency instead of throttled arrivals. Fixed
+// pacing spaces arrivals exactly 1/Rate apart; Poisson draws exponential
+// gaps with mean 1/Rate from the job's random stream. Offsets, op types
+// and gaps are all drawn in arrival order by this single dispatcher, so
+// the stream is deterministic at any codec concurrency.
 func (r *scenarioRun) dispatchOpenLoop(p *sim.Proc, js *jobState, jobStart sim.Time) {
 	job := &js.sj.job
-	interval := time.Duration(float64(time.Second) / job.Rate)
+	mean := float64(time.Second) / job.Rate
+	interval := time.Duration(mean)
 	if interval <= 0 {
 		interval = time.Nanosecond
 	}
@@ -633,7 +636,14 @@ func (r *scenarioRun) dispatchOpenLoop(p *sim.Proc, js *jobState, jobStart sim.T
 			r.doOp(ap, js, off, op)
 		})
 		seq++
-		p.Sleep(interval)
+		gap := interval
+		if job.Arrival == ArrivalPoisson {
+			gap = time.Duration(js.rng.ExpFloat64() * mean)
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+		}
+		p.Sleep(gap)
 	}
 }
 

@@ -61,6 +61,30 @@ func (o Op) String() string {
 	}
 }
 
+// Arrival selects the inter-arrival process of an open-loop job
+// (Job.Rate > 0).
+type Arrival int
+
+// Arrival processes.
+const (
+	// ArrivalFixed spaces arrivals exactly 1/Rate seconds apart (FIO's
+	// rate_iops pacing). The default.
+	ArrivalFixed Arrival = iota
+	// ArrivalPoisson draws exponential inter-arrival times with mean
+	// 1/Rate from the job's seeded random stream: a memoryless open-loop
+	// load whose bursts probe queueing behaviour that fixed pacing hides.
+	// Deterministic like everything else — the same seed produces the
+	// same arrival sequence at any codec concurrency.
+	ArrivalPoisson
+)
+
+func (a Arrival) String() string {
+	if a == ArrivalPoisson {
+		return "poisson"
+	}
+	return "fixed"
+}
+
 // Job describes one FIO-style load generator.
 type Job struct {
 	Name      string
@@ -75,6 +99,9 @@ type Job struct {
 	// of completions, each running independently — overload shows up as
 	// latency, not as throttled arrivals.
 	Rate float64
+	// Arrival selects the open-loop inter-arrival process (fixed-interval
+	// or Poisson). Only meaningful with Rate > 0.
+	Arrival Arrival
 	// Ramp is the warm-up before the measurement window opens; cluster
 	// metrics are reset at its end. Write experiments on pristine images
 	// use Ramp 0 so object initialization is measured, as in the paper.
@@ -104,6 +131,10 @@ func (j *Job) validate(imageSize int64) error {
 		return fmt.Errorf("workload: negative arrival rate %v", j.Rate)
 	case j.Rate == 0 && j.QueueDepth <= 0:
 		return fmt.Errorf("workload: bad queue depth %d", j.QueueDepth)
+	case j.Arrival != ArrivalFixed && j.Arrival != ArrivalPoisson:
+		return fmt.Errorf("workload: unknown arrival process %d", j.Arrival)
+	case j.Arrival != ArrivalFixed && j.Rate == 0:
+		return fmt.Errorf("workload: arrival process %v requires open-loop pacing (Rate > 0)", j.Arrival)
 	case j.Duration <= 0:
 		return fmt.Errorf("workload: bad duration %v", j.Duration)
 	case j.Ramp < 0:
