@@ -86,6 +86,12 @@ type (
 	OSD = core.OSD
 	// RecoveryStats summarizes a repair pass.
 	RecoveryStats = core.RecoveryStats
+	// BackfillStats summarizes a backfill pass (divergent-object re-sync
+	// after a restored OSD rejoins).
+	BackfillStats = core.BackfillStats
+	// ScrubStats summarizes a deep-scrub pass (latent-error detection and
+	// repair).
+	ScrubStats = core.ScrubStats
 )
 
 // Simulation engine types.
@@ -123,8 +129,15 @@ type (
 	PhaseInfo = workload.PhaseInfo
 	// RecoveryResult is the outcome of one StartRecovery event.
 	RecoveryResult = workload.RecoveryResult
+	// BackfillResult is the outcome of one backfill pass run by RestoreOSD.
+	BackfillResult = workload.BackfillResult
+	// ScrubResult is the outcome of one StartScrub event.
+	ScrubResult = workload.ScrubResult
+	// InjectResult is the outcome of one InjectCorruption event.
+	InjectResult = workload.InjectResult
 	// ScenarioEvent is a scheduled cluster action (FailOSD, RestoreOSD,
-	// StartRecovery, SetRecoveryRate, Callback).
+	// StartRecovery, StartScrub, InjectCorruption, SetRecoveryRate,
+	// Callback).
 	ScenarioEvent = workload.Event
 	// ClusterEvent is one logged cluster-state transition.
 	ClusterEvent = core.ClusterEvent
@@ -215,8 +228,26 @@ func NewScenario(c *Cluster) *Scenario { return workload.NewScenario(c) }
 // serve its PGs' reads by reconstruction (degraded mode).
 func FailOSD(id int) ScenarioEvent { return workload.FailOSD(id) }
 
-// RestoreOSD returns a scenario event that marks a failed OSD back in.
+// RestoreOSD returns a scenario event that marks a failed OSD back in and
+// immediately backfills: positions whose objects diverged during the outage
+// are served by reconstruction until the paced backfill pass re-syncs them,
+// so stale shard contents are never read.
 func RestoreOSD(id int) ScenarioEvent { return workload.RestoreOSD(id) }
+
+// RestoreOSDNoBackfill is RestoreOSD without the automatic backfill pass:
+// divergent positions stay excluded from service until a backfill runs.
+func RestoreOSDNoBackfill(id int) ScenarioEvent { return workload.RestoreOSDNoBackfill(id) }
+
+// StartScrub returns a scenario event that launches a deep-scrub pass on
+// the named pool, detecting and repairing latent shard errors.
+func StartScrub(pool string) ScenarioEvent { return workload.StartScrub(pool) }
+
+// InjectCorruption returns a scenario event that silently corrupts the
+// shard copy of obj at the given shard position in the named pool (a latent
+// media error for StartScrub to find).
+func InjectCorruption(pool, obj string, shard int) ScenarioEvent {
+	return workload.InjectCorruption(pool, obj, shard)
+}
 
 // StartRecovery returns a scenario event that launches a background repair
 // pass on the named pool while foreground jobs keep running.

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecarray/internal/sim"
+)
+
+// BackfillStats summarizes one Backfill pass: how much divergence a restored
+// OSD accumulated while it was out, and what it cost to re-sync. Unlike a
+// full Recover, backfill moves only the objects the PG log marked dirty —
+// Ceph's log-based recovery versus whole-PG backfill distinction.
+type BackfillStats struct {
+	PGsBackfilled     int
+	ObjectsSynced     int
+	ShardsSynced      int   // EC shard copies rewritten onto backfilling positions
+	BytesRestored     int64 // bytes written onto backfilling positions
+	BytesPulled       int64 // bytes read from live shards/replicas
+	ReplicasCopied    int   // replicated-pool object copies re-synced
+	DurationSimulated time.Duration
+}
+
+// Backfill re-syncs every backfilling shard position in the pool (positions
+// re-admitted by MarkOSDIn whose objects diverged while the OSD was out),
+// running as simulation process p. Only divergent objects move: for EC PGs
+// each is reconstructed from k live shards and its chunk rewritten onto the
+// stale position; for replicated PGs the full object is copied from a live
+// replica. Writes that land mid-pass keep accumulating dirty epochs, so the
+// pass loops until it converges, then flips the positions clean — from that
+// point they serve reads directly again. The pass shares the recovery
+// throttle: SetRecoveryRate paces it object by object.
+func (pl *Pool) Backfill(p *sim.Proc) (BackfillStats, error) {
+	start := p.Now()
+	pl.c.emitEvent("backfill-start", fmt.Sprintf("pool %s: %d backfilling PGs", pl.name, pl.Backfilling()))
+	var st BackfillStats
+	ps := paceState{rate: pl.recoveryRate, refTime: start}
+	for _, pg := range pl.pgs {
+		if len(pg.bf) == 0 {
+			continue
+		}
+		var err error
+		if pl.profile.IsEC() {
+			err = pl.backfillECPG(p, &ps, pg, &st)
+		} else {
+			err = pl.backfillReplicatedPG(p, &ps, pg, &st)
+		}
+		if err != nil {
+			return st, err
+		}
+		st.PGsBackfilled++
+	}
+	st.DurationSimulated = time.Duration(p.Now() - start)
+	pl.c.emitEvent("backfill-done", fmt.Sprintf(
+		"pool %s: %d PGs, %d objects, %.1f MiB restored in %v",
+		pl.name, st.PGsBackfilled, st.ObjectsSynced, float64(st.BytesRestored)/(1<<20), st.DurationSimulated))
+	return st, nil
+}
+
+// backfillNeeds enumerates, per divergent object, which backfilling
+// positions still need it: everything for full-resync positions, otherwise
+// the objects whose dirty epoch exceeds the position's synced epoch.
+func backfillNeeds(pg *PG, synced map[int]uint64, full map[int]bool) map[string][]int {
+	need := map[string][]int{}
+	for pos := range pg.bf {
+		if full[pos] {
+			for obj := range pg.objects {
+				need[obj] = append(need[obj], pos)
+			}
+			continue
+		}
+		for obj, e := range pg.dirty {
+			if e > synced[pos] {
+				need[obj] = append(need[obj], pos)
+			}
+		}
+	}
+	for _, positions := range need {
+		sort.Ints(positions)
+	}
+	return need
+}
+
+func sortedNeedObjects(need map[string][]int) []string {
+	out := make([]string, 0, len(need))
+	for obj := range need {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// flipClean moves every backfilling position back into live service and
+// drops its divergence records.
+func (pg *PG) flipClean() {
+	var positions []int
+	for pos := range pg.bf {
+		positions = append(positions, pos)
+	}
+	for _, pos := range positions {
+		id := pg.shards[pos]
+		delete(pg.bf, pos)
+		delete(pg.gone, id)
+		delete(pg.gonePos, id)
+	}
+	pg.maybeAllClean()
+	if pg.scache != nil {
+		pg.scache.clear()
+	}
+}
+
+// backfillECPG re-syncs an EC PG's backfilling positions by reconstructing
+// each divergent object's stale chunks from k live shards.
+func (pl *Pool) backfillECPG(p *sim.Proc, ps *paceState, pg *PG, st *BackfillStats) error {
+	g := pl.geom()
+	cm := &pl.c.cfg.Cost
+
+	synced := map[int]uint64{}
+	full := map[int]bool{}
+	for pos, e := range pg.bf {
+		synced[pos] = e.depart
+		full[pos] = e.full
+	}
+
+	for {
+		target := pg.epoch
+		need := backfillNeeds(pg, synced, full)
+		if len(need) == 0 {
+			break
+		}
+		for _, obj := range sortedNeedObjects(need) {
+			positions := need[obj]
+
+			// The PG lock serializes the object's sync against foreground
+			// writes: a write that slips in after this sync bumps the epoch
+			// past target and the convergence loop picks it up next round.
+			pg.lock.Acquire(p, 1)
+			_, primID := pg.primary()
+			if primID < 0 {
+				pg.lock.Release(1)
+				return fmt.Errorf("core: pg %d.%d has no live OSDs", pl.id, pg.id)
+			}
+			prim := pl.c.osds[primID]
+
+			srcs := make([]int, 0, g.k)
+			for pos := 0; pos < g.k+g.m && len(srcs) < g.k; pos++ {
+				if pg.live(pos) {
+					srcs = append(srcs, pos)
+				}
+			}
+			if len(srcs) < g.k {
+				pg.lock.Release(1)
+				return fmt.Errorf("core: pg object %s beyond repair", obj)
+			}
+			results := make([][]byte, len(srcs))
+			pl.fetchShards(p, pg, prim, obj, srcs, 0, g.shardSize, results)
+			st.BytesPulled += int64(len(srcs)) * g.shardSize
+
+			// Reconstruction cost: one recover-matrix row of k coefficients
+			// per stale chunk over the shard bytes.
+			prim.Node.CPU.Exec(p, perKB(int64(len(positions))*g.shardSize*int64(g.k), cm.EncodeCostPerKB()), 0)
+			var shardBytes map[int][]byte
+			if pl.c.cfg.CarryData {
+				var err error
+				shardBytes, err = pl.rebuildShardBytes(obj, srcs, positions, results, g)
+				if err != nil {
+					pg.lock.Release(1)
+					return err
+				}
+			}
+
+			latch := sim.NewLatch(pl.c.e, len(positions))
+			for _, pos := range positions {
+				osd := pl.c.osds[pg.shards[pos]]
+				var payload []byte
+				if shardBytes != nil {
+					payload = shardBytes[pos]
+				}
+				pl.c.e.GoNamed("backfill", obj, pos, func(sp *sim.Proc) {
+					pl.c.sendPrivate(sp, prim.Node, osd.Node, g.shardSize)
+					osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+					osd.Store.Write(sp, obj, 0, payload, g.shardSize)
+					pl.c.sendPrivate(sp, osd.Node, prim.Node, 0)
+					latch.Done()
+				})
+			}
+			latch.Wait(p)
+			pg.lock.Release(1)
+
+			st.ObjectsSynced++
+			st.ShardsSynced += len(positions)
+			st.BytesRestored += int64(len(positions)) * g.shardSize
+			pl.pace(p, ps, st.BytesPulled+st.BytesRestored)
+		}
+		for pos := range synced {
+			synced[pos] = target
+			full[pos] = false
+		}
+		if pg.epoch == target {
+			break
+		}
+		// Foreground writes landed mid-pass; another round syncs the delta.
+	}
+	pg.flipClean()
+	return nil
+}
+
+// backfillReplicatedPG re-syncs a replicated PG's backfilling positions by
+// copying each divergent object from a live replica.
+func (pl *Pool) backfillReplicatedPG(p *sim.Proc, ps *paceState, pg *PG, st *BackfillStats) error {
+	cm := &pl.c.cfg.Cost
+
+	synced := map[int]uint64{}
+	full := map[int]bool{}
+	for pos, e := range pg.bf {
+		synced[pos] = e.depart
+		full[pos] = e.full
+	}
+
+	for {
+		target := pg.epoch
+		need := backfillNeeds(pg, synced, full)
+		if len(need) == 0 {
+			break
+		}
+		for _, obj := range sortedNeedObjects(need) {
+			positions := need[obj]
+			size := pg.objects[obj]
+			if size <= 0 {
+				continue
+			}
+
+			pg.lock.Acquire(p, 1)
+			_, primID := pg.primary()
+			if primID < 0 {
+				pg.lock.Release(1)
+				return fmt.Errorf("core: pg %d.%d has no live replicas", pl.id, pg.id)
+			}
+			prim := pl.c.osds[primID]
+
+			prim.Node.CPU.Exec(p, 0, cm.StoreSubmitKern)
+			data := prim.Store.Read(p, obj, 0, size)
+			st.BytesPulled += size
+
+			latch := sim.NewLatch(pl.c.e, len(positions))
+			for _, pos := range positions {
+				osd := pl.c.osds[pg.shards[pos]]
+				pl.c.e.GoNamed("backfill", obj, pos, func(sp *sim.Proc) {
+					pl.c.sendPrivate(sp, prim.Node, osd.Node, size)
+					osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+					osd.Store.Write(sp, obj, 0, data, size)
+					pl.c.sendPrivate(sp, osd.Node, prim.Node, 0)
+					latch.Done()
+				})
+			}
+			latch.Wait(p)
+			pg.lock.Release(1)
+
+			st.ObjectsSynced++
+			st.ReplicasCopied += len(positions)
+			st.BytesRestored += int64(len(positions)) * size
+			pl.pace(p, ps, st.BytesPulled+st.BytesRestored)
+		}
+		for pos := range synced {
+			synced[pos] = target
+			full[pos] = false
+		}
+		if pg.epoch == target {
+			break
+		}
+	}
+	pg.flipClean()
+	return nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ecarray/internal/sim"
+)
+
+// TestBackfillECStaleShardRegression is the regression for the transient-
+// outage bug this subsystem fixes: an OSD that misses writes while out must
+// NOT serve its stale shard after re-admission. The restored position comes
+// back `backfilling` (reads reconstruct around it), and only after Backfill
+// re-syncs the divergent objects does it serve again — with the new bytes.
+func TestBackfillECStaleShardRegression(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(300_000, 11)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	img.Prefill() // the remaining objects exist but never diverge
+
+	obj := img.ObjectName(0)
+	victim := pl.ActingSet(obj)[2]
+	c.MarkOSDOut(victim)
+
+	// Diverge the first object while the victim is out: its shard of these
+	// stripes goes stale.
+	divergent := pattern(300_000, 99)
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, divergent, int64(len(divergent))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	c.MarkOSDIn(victim)
+	if pl.Backfilling() == 0 {
+		t.Fatal("re-admitted OSD with divergent objects must leave PGs backfilling")
+	}
+	if pl.Degraded() == 0 {
+		t.Fatal("backfilling PGs must count as degraded")
+	}
+	for _, osd := range pl.ActingSet(obj) {
+		if osd == victim {
+			t.Fatal("backfilling position must be excluded from the acting set")
+		}
+	}
+
+	// THE regression: a read before backfill must reconstruct around the
+	// stale shard and return the divergent (current) bytes, never the old
+	// ones.
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(divergent)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, divergent) {
+			t.Error("pre-backfill read served stale shard contents")
+		}
+	})
+
+	var st BackfillStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Backfill(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	// Log-based backfill: only the one object written during the outage
+	// moves, not everything the victim's PGs hold.
+	if st.ObjectsSynced != 1 {
+		t.Fatalf("backfill synced %d objects, want exactly the 1 divergent one (%+v)",
+			st.ObjectsSynced, st)
+	}
+	if st.ShardsSynced == 0 || st.BytesRestored == 0 || st.BytesPulled == 0 {
+		t.Fatalf("empty backfill stats: %+v", st)
+	}
+	if pl.Backfilling() != 0 || pl.Degraded() != 0 {
+		t.Fatalf("pool still backfilling/degraded after Backfill (%d/%d)",
+			pl.Backfilling(), pl.Degraded())
+	}
+	found := false
+	for _, osd := range pl.ActingSet(obj) {
+		if osd == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("victim must rejoin the acting set after backfill")
+	}
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(divergent)))
+		if err != nil || !bytes.Equal(got, divergent) {
+			t.Errorf("post-backfill read mismatch (%v)", err)
+		}
+	})
+
+	// Prove the victim's stored shard bytes were really rewritten (not just
+	// re-flagged clean): fail m other OSDs so exactly k live shards remain —
+	// the victim's shard is then mandatory for every reconstruction.
+	acting := pl.ActingSet(obj)
+	failed := 0
+	for _, osd := range acting {
+		if osd != victim && failed < 3 {
+			c.MarkOSDOut(osd)
+			failed++
+		}
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(divergent)))
+		if err != nil || !bytes.Equal(got, divergent) {
+			t.Errorf("read through the backfilled shard mismatch (%v)", err)
+		}
+	})
+}
+
+// TestBackfillReplicatedStaleCopyRegression is the replicated-pool variant:
+// the returning primary's stale copy must not serve until its divergent
+// objects are re-copied.
+func TestBackfillReplicatedStaleCopyRegression(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("rep", ProfileReplicated(3))
+	img, _ := c.CreateImage("rep", "img", 8<<20)
+	payload := pattern(200_000, 21)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	obj := img.ObjectName(0)
+	victim := pl.ActingSet(obj)[0] // the primary itself goes out
+	c.MarkOSDOut(victim)
+
+	divergent := pattern(200_000, 87)
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, divergent, int64(len(divergent))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	c.MarkOSDIn(victim)
+	if pl.Backfilling() == 0 {
+		t.Fatal("restored replica with missed writes must be backfilling")
+	}
+	// Pre-backfill reads come from a surviving replica, not the stale copy.
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(divergent)))
+		if err != nil || !bytes.Equal(got, divergent) {
+			t.Errorf("pre-backfill replicated read served stale copy (%v)", err)
+		}
+	})
+
+	var st BackfillStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Backfill(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if st.ReplicasCopied == 0 || st.ObjectsSynced == 0 {
+		t.Fatalf("no replicas re-synced: %+v", st)
+	}
+	if pl.Backfilling() != 0 {
+		t.Fatal("pool still backfilling after Backfill")
+	}
+
+	// The victim is the primary again; fail the other two replicas so every
+	// read is served from the re-synced copy alone.
+	for _, osd := range pl.ActingSet(obj) {
+		if osd != victim {
+			c.MarkOSDOut(osd)
+		}
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(divergent)))
+		if err != nil || !bytes.Equal(got, divergent) {
+			t.Errorf("read from the backfilled replica mismatch (%v)", err)
+		}
+	})
+}
+
+// TestBackfillCleanFlipWithoutWrites: when nothing was written during the
+// outage, re-admission flips the positions straight to clean — no backfill
+// pass, no data motion.
+func TestBackfillCleanFlipWithoutWrites(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(300_000, 5)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	obj := img.ObjectName(0)
+	victim := pl.ActingSet(obj)[1]
+	c.MarkOSDOut(victim)
+	c.MarkOSDIn(victim)
+
+	if n := pl.Backfilling(); n != 0 {
+		t.Fatalf("clean outage left %d PGs backfilling", n)
+	}
+	if n := pl.Degraded(); n != 0 {
+		t.Fatalf("clean outage left %d PGs degraded", n)
+	}
+	// A Backfill pass on the clean pool is a no-op.
+	runOp(t, e, c, func(p *sim.Proc) {
+		st, err := pl.Backfill(p)
+		if err != nil {
+			t.Error(err)
+		}
+		if st.PGsBackfilled != 0 || st.BytesRestored != 0 {
+			t.Errorf("clean pool produced backfill work: %+v", st)
+		}
+	})
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read after clean flip mismatch (%v)", err)
+		}
+	})
+}
+
+// TestBackfillAfterRecoveryReturningOSDHasNoClaim: if recovery already
+// rebuilt the departed position onto a replacement, the returning OSD gets
+// no claim on the PG — no backfilling entry, and it stays out of the acting
+// set.
+func TestBackfillAfterRecoveryReturningOSDHasNoClaim(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(300_000, 33)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	obj := img.ObjectName(0)
+	victim := pl.ActingSet(obj)[0]
+	c.MarkOSDOut(victim)
+	runOp(t, e, c, func(p *sim.Proc) {
+		if _, err := pl.Recover(p); err != nil {
+			t.Error(err)
+		}
+	})
+	c.MarkOSDIn(victim)
+
+	if n := pl.Backfilling(); n != 0 {
+		t.Fatalf("recovered positions must not backfill, got %d PGs", n)
+	}
+	for _, osd := range pl.ActingSet(obj) {
+		if osd == victim {
+			t.Fatal("replaced OSD must not rejoin the recovered acting set")
+		}
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read after recovery+re-admission mismatch (%v)", err)
+		}
+	})
+}
+
+// TestBackfillPaceIntegerExact pins the all-integer pacing arithmetic:
+// simulated sleep totals are exact for awkward rates (no float rounding) and
+// the reference rebases on a mid-pass rate change.
+func TestBackfillPaceIntegerExact(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(false))
+	pl, _ := c.CreatePool("ec", ProfileEC(4, 2))
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		// 10 bytes at 3 B/s: exactly 3s + 1*1e9/3 ns.
+		pl.SetRecoveryRate(3)
+		ps := paceState{rate: 3, refTime: p.Now()}
+		t0 := p.Now()
+		pl.pace(p, &ps, 10)
+		if got, want := time.Duration(p.Now()-t0), time.Duration(3333333333); got != want {
+			t.Errorf("pace(10 @ 3B/s) slept %v, want %v", got, want)
+		}
+		// Re-pacing the same progress adds nothing.
+		t1 := p.Now()
+		pl.pace(p, &ps, 10)
+		if got := time.Duration(p.Now() - t1); got != 0 {
+			t.Errorf("repeated pace slept %v, want 0", got)
+		}
+
+		// A large pass at a power-of-two rate: whole seconds plus a
+		// remainder that integer math pins to the nanosecond.
+		pl.SetRecoveryRate(1 << 30)
+		ps2 := paceState{rate: 1 << 30, refTime: p.Now()}
+		t2 := p.Now()
+		pl.pace(p, &ps2, (1<<40)+5)
+		if got, want := time.Duration(p.Now()-t2), 1024*time.Second+4; got != want {
+			t.Errorf("pace(1TiB+5 @ 1GiB/s) slept %v, want %v", got, want)
+		}
+
+		// Changing the rate rebases the reference: the first call after the
+		// change sleeps nothing, later calls meter only the delta.
+		pl.SetRecoveryRate(1000)
+		t3 := p.Now()
+		pl.pace(p, &ps2, (1<<40)+5)
+		if got := time.Duration(p.Now() - t3); got != 0 {
+			t.Errorf("rate-change rebase slept %v, want 0", got)
+		}
+		t4 := p.Now()
+		pl.pace(p, &ps2, (1<<40)+5+500)
+		if got, want := time.Duration(p.Now()-t4), 500*time.Millisecond; got != want {
+			t.Errorf("pace(+500 @ 1kB/s) slept %v, want %v", got, want)
+		}
+	})
+}
+
+// TestMarkOSDOutInIdempotent: failing an already-out OSD and restoring an
+// already-up OSD are no-ops — no events, no placement churn.
+func TestMarkOSDOutInIdempotent(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(100_000, 61)
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	counts := map[string]int{}
+	c.SetEventHook(func(ev ClusterEvent) { counts[ev.Kind]++ })
+	victim := pl.ActingSet(img.ObjectName(0))[0]
+
+	c.MarkOSDOut(victim)
+	c.MarkOSDOut(victim) // no-op
+	if counts["osd-out"] != 1 {
+		t.Fatalf("double MarkOSDOut emitted %d events, want 1", counts["osd-out"])
+	}
+	c.MarkOSDIn(victim)
+	c.MarkOSDIn(victim) // no-op
+	if counts["osd-in"] != 1 {
+		t.Fatalf("double MarkOSDIn emitted %d events, want 1", counts["osd-in"])
+	}
+	c.SetEventHook(nil)
+
+	// The acting set holds the victim exactly once after the round trip.
+	seen := 0
+	for _, osd := range pl.ActingSet(img.ObjectName(0)) {
+		if osd == victim {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("victim appears %d times in the acting set after out/out/in/in", seen)
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read after idempotent transitions mismatch (%v)", err)
+		}
+	})
+}

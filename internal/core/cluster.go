@@ -53,10 +53,11 @@ type Cluster struct {
 	client  *Node
 	nodes   []*Node
 	osds    []*OSD
-	cmap    *crush.Map
-	pools   map[string]*Pool
-	poolSeq int
-	stopped bool
+	cmap     *crush.Map
+	pools    map[string]*Pool
+	poolList []*Pool // creation order, for deterministic iteration
+	poolSeq  int
+	stopped  bool
 
 	imageQueue  *sim.Resource // client librbd dispatch serialization
 	metricsFrom sim.Time
@@ -198,23 +199,32 @@ func (c *Cluster) scheduleHeartbeat() {
 }
 
 // MarkOSDOut fails an OSD: it leaves placement and all PG acting sets.
-// Erasure-coded pools serve reads on such PGs by reconstruction.
+// Erasure-coded pools serve reads on such PGs by reconstruction. Failing an
+// already-out OSD is a no-op (no placement mutation, no event).
 func (c *Cluster) MarkOSDOut(id int) {
+	if !c.osds[id].up {
+		return
+	}
 	c.osds[id].up = false
 	c.cmap.MarkOut(id)
-	for _, pl := range c.pools {
+	for _, pl := range c.poolList {
 		pl.osdOut(id)
 	}
 	c.emitEvent("osd-out", fmt.Sprintf("osd%d (host %s)", id, c.osds[id].Node.Name))
 }
 
-// MarkOSDIn restores a failed OSD to placement. Shard contents are not
-// backfilled; restore only OSDs whose data is still valid (tests) or
-// re-create the pool.
+// MarkOSDIn restores a failed OSD to placement. Positions whose objects
+// diverged while the OSD was out come back `backfilling`: still served by
+// reconstruction around them until a Pool.Backfill pass re-syncs the
+// divergent objects and flips them clean, so stale shard contents are never
+// read. Restoring an OSD that is already up is a no-op.
 func (c *Cluster) MarkOSDIn(id int) {
+	if c.osds[id].up {
+		return
+	}
 	c.osds[id].up = true
 	c.cmap.MarkIn(id)
-	for _, pl := range c.pools {
+	for _, pl := range c.poolList {
 		pl.osdIn(id)
 	}
 	c.emitEvent("osd-in", fmt.Sprintf("osd%d (host %s)", id, c.osds[id].Node.Name))
@@ -239,11 +249,16 @@ func (c *Cluster) CreatePool(name string, profile Profile) (*Pool, error) {
 	}
 	c.poolSeq++
 	c.pools[name] = pl
+	c.poolList = append(c.poolList, pl)
 	return pl, nil
 }
 
 // Pool returns a pool by name (nil if missing).
 func (c *Cluster) Pool(name string) *Pool { return c.pools[name] }
+
+// Pools returns every pool in creation order (a deterministic iteration
+// order for background tasks walking all pools).
+func (c *Cluster) Pools() []*Pool { return append([]*Pool(nil), c.poolList...) }
 
 // --- CPU/network cost helpers shared by the op paths ---
 

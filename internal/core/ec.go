@@ -49,14 +49,14 @@ func (pl *Pool) fetchShards(p *sim.Proc, pg *PG, prim *OSD, obj string, shardPos
 func (pl *Pool) dataShardSources(pg *PG) (srcs []int, missingData []int, err error) {
 	g := pl.geom()
 	for j := 0; j < g.k; j++ {
-		if pg.shards[j] >= 0 {
+		if pg.live(j) {
 			srcs = append(srcs, j)
 		} else {
 			missingData = append(missingData, j)
 		}
 	}
 	for j := g.k; j < g.k+g.m && len(srcs) < g.k; j++ {
-		if pg.shards[j] >= 0 {
+		if pg.live(j) {
 			srcs = append(srcs, j)
 		}
 	}
@@ -221,8 +221,8 @@ func (pl *Pool) initObject(p *sim.Proc, pg *PG, prim *OSD, obj string) {
 	prim.Node.CPU.Exec(p, pl.encodeCost(g.stripes*g.stripeWidth), 0)
 
 	latch := sim.NewLatch(pl.c.e, pg.liveShards())
-	for _, osdID := range pg.shards {
-		if osdID < 0 {
+	for pos, osdID := range pg.shards {
+		if !pg.live(pos) {
 			continue
 		}
 		osd := pl.c.osds[osdID]
@@ -272,6 +272,9 @@ func (pl *Pool) writeEC(p *sim.Proc, obj string, off int64, data []byte, length 
 	if !pg.inited[obj] {
 		pl.initObject(p, pg, prim, obj)
 	}
+	// Degraded writes cannot reach every shard: record the divergence for
+	// later backfill enumeration (PG-log-lite).
+	pg.noteWrite(obj)
 
 	s0, s1 := g.stripeSpan(off, length)
 	perShard := (s1 - s0) * g.unit
@@ -314,10 +317,10 @@ func (pl *Pool) writeEC(p *sim.Proc, obj string, off int64, data []byte, length 
 		pg.scache.drop(stripeKey{obj, s})
 	}
 
-	// Write phase: push all k+m updated shard ranges.
+	// Write phase: push all live (non-backfilling) shard ranges.
 	commits := sim.NewLatch(pl.c.e, pg.liveShards())
 	for pos, osdID := range pg.shards {
-		if osdID < 0 {
+		if !pg.live(pos) {
 			continue
 		}
 		pos := pos
@@ -422,19 +425,21 @@ func (pl *Pool) PrefillObject(obj string, size int64) {
 	pg := pl.pgOf(obj)
 	if pl.profile.IsEC() {
 		g := pl.geom()
-		for _, osdID := range pg.shards {
-			if osdID >= 0 {
+		for pos, osdID := range pg.shards {
+			if pg.live(pos) {
 				pl.c.osds[osdID].Store.Prefill(obj, g.shardSize)
 			}
 		}
 		pg.inited[obj] = true
 		pg.noteObject(obj, g.stripes*g.stripeWidth)
+		pg.noteWrite(obj)
 		return
 	}
-	for _, osdID := range pg.shards {
-		if osdID >= 0 {
+	for pos, osdID := range pg.shards {
+		if pg.live(pos) {
 			pl.c.osds[osdID].Store.Prefill(obj, size)
 		}
 	}
 	pg.noteObject(obj, size)
+	pg.noteWrite(obj)
 }

@@ -14,7 +14,8 @@ type ClusterEvent struct {
 	// start.
 	Time time.Duration
 	// Kind classifies the event: "osd-out", "osd-in", "recovery-start",
-	// "recovery-done", "recovery-rate".
+	// "recovery-done", "recovery-rate", "backfill-start", "backfill-done",
+	// "scrub-start", "scrub-done", "latent-error", "pg-map-error".
 	Kind string
 	// Detail is a human-readable payload ("osd3", "pool data: 12 PGs ...").
 	Detail string

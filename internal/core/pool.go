@@ -40,12 +40,99 @@ type PG struct {
 	// sequential reads of the same stripe (§IV-B RS-concatenation).
 	inited map[string]bool
 	scache *stripeCache
+
+	// --- dirty-shard tracking (PG-log-lite, the divergence bookkeeping
+	// Ceph keeps in its PG log; D3-style "exactly which shards diverged") ---
+
+	// epoch is the PG's write epoch: it bumps on every write that lands
+	// while the acting set is degraded (a missing or backfilling shard).
+	// Healthy-period writes reach every shard, so they need no record.
+	epoch uint64
+	// dirty maps an object to the epoch of its last degraded-period write.
+	dirty map[string]uint64
+	// gone maps a departed OSD id to its last clean epoch: every write it
+	// observed is at or below this epoch.
+	gone map[int]uint64
+	// gonePos pins the shard position a departed OSD held, so re-admission
+	// returns it to exactly that position (a CRUSH re-Select with other
+	// OSDs still out can shift positions and would re-slot the wrong
+	// chunk column).
+	gonePos map[int]int
+	// bf marks shard positions that are re-admitted but stale: present in
+	// placement, excluded from reads and writes (served around by
+	// reconstruction, exactly like out) until Backfill re-syncs their
+	// divergent objects and flips them clean.
+	bf map[int]bfEntry
+	// latent records injected silent shard corruption (object -> shard
+	// positions) for the scrub pass to detect and repair.
+	latent map[string]map[int]bool
+}
+
+// bfEntry is one backfilling position's divergence reference.
+type bfEntry struct {
+	// depart is the returning OSD's last clean epoch: objects whose dirty
+	// epoch exceeds it diverged while the OSD was out.
+	depart uint64
+	// full marks unknown provenance (no departure record, e.g. the
+	// position's history was lost to a replacement): every object must be
+	// re-synced.
+	full bool
 }
 
 // noteObject records (or extends) an object in the PG's catalog.
 func (pg *PG) noteObject(obj string, end int64) {
 	if end > pg.objects[obj] {
 		pg.objects[obj] = end
+	}
+}
+
+// live reports whether the shard position serves I/O: present and not
+// backfilling.
+func (pg *PG) live(pos int) bool {
+	if pg.shards[pos] < 0 {
+		return false
+	}
+	_, stale := pg.bf[pos]
+	return !stale
+}
+
+// degraded reports whether any shard position is missing or backfilling.
+func (pg *PG) degraded() bool {
+	if len(pg.bf) > 0 {
+		return true
+	}
+	for _, osd := range pg.shards {
+		if osd < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// noteWrite records a write landing on the PG: while degraded, the write
+// cannot reach every shard, so the object is marked dirty at a fresh epoch
+// for later backfill enumeration.
+func (pg *PG) noteWrite(obj string) {
+	if !pg.degraded() {
+		return
+	}
+	pg.epoch++
+	pg.dirty[obj] = pg.epoch
+}
+
+// maybeAllClean drops the divergence bookkeeping once every shard position
+// is present and clean again: any future departure records an epoch at or
+// above every tracked write, so old entries can never match.
+func (pg *PG) maybeAllClean() {
+	if pg.degraded() {
+		return
+	}
+	if len(pg.dirty) > 0 {
+		pg.dirty = map[string]uint64{}
+	}
+	if len(pg.gone) > 0 {
+		pg.gone = map[int]uint64{}
+		pg.gonePos = map[int]int{}
 	}
 }
 
@@ -70,6 +157,11 @@ func newPool(c *Cluster, id int, name string, profile Profile) (*Pool, error) {
 			shards:  sel,
 			lock:    sim.NewResource(c.e, fmt.Sprintf("pg/%d.%d", id, pgid), 1),
 			objects: map[string]int64{},
+			dirty:   map[string]uint64{},
+			gone:    map[int]uint64{},
+			gonePos: map[int]int{},
+			bf:      map[int]bfEntry{},
+			latent:  map[string]map[int]bool{},
 		}
 		if profile.IsEC() {
 			pg.inited = map[string]bool{}
@@ -106,13 +198,13 @@ func (pl *Pool) pgOf(obj string) *PG {
 // PGFor exposes the PG id an object maps to (diagnostics, tests, ecctl).
 func (pl *Pool) PGFor(obj string) int { return pl.pgOf(obj).id }
 
-// ActingSet returns the live OSD ids of an object's PG in shard order
-// (missing shards omitted).
+// ActingSet returns the serving OSD ids of an object's PG in shard order
+// (missing and backfilling shards omitted).
 func (pl *Pool) ActingSet(obj string) []int {
 	pg := pl.pgOf(obj)
 	var out []int
-	for _, osd := range pg.shards {
-		if osd >= 0 {
+	for pos, osd := range pg.shards {
+		if pg.live(pos) {
 			out = append(out, osd)
 		}
 	}
@@ -122,9 +214,18 @@ func (pl *Pool) ActingSet(obj string) []int {
 func (pl *Pool) osdOut(id int) {
 	for _, pg := range pl.pgs {
 		for i, osd := range pg.shards {
-			if osd == id {
-				pg.shards[i] = -1
+			if osd != id {
+				continue
 			}
+			pg.shards[i] = -1
+			// Record the departure once: if the position was still mid-
+			// backfill, the shard's content is only clean through the
+			// ORIGINAL departure epoch, so the existing record stands.
+			if _, tracked := pg.gone[id]; !tracked {
+				pg.gone[id] = pg.epoch
+				pg.gonePos[id] = i
+			}
+			delete(pg.bf, i)
 		}
 		if pg.scache != nil {
 			pg.scache.clear()
@@ -132,19 +233,71 @@ func (pl *Pool) osdOut(id int) {
 	}
 }
 
+// osdIn re-admits a restored OSD into the shard positions it departed from.
+// Positions with objects written while the OSD was out come back as
+// `backfilling`: in placement but excluded from reads and writes (served
+// around by reconstruction, exactly like out) until Pool.Backfill re-syncs
+// the divergent objects and flips them clean.
 func (pl *Pool) osdIn(id int) {
-	// Restore the OSD to the shard positions CRUSH originally assigned.
 	width := pl.profile.Width()
 	for pgid, pg := range pl.pgs {
-		seed := uint64(pl.id)<<32 | uint64(pgid)
-		sel, err := pl.c.cmap.Select(seed, width)
-		if err != nil {
+		pos, tracked := pg.gonePos[id]
+		if !tracked {
+			// No departure record (the PG never lost this OSD, or its
+			// position history was lost to a replacement): consult CRUSH
+			// for a vacant original position. Mapping errors mean the
+			// placement hole persists — surface them as cluster events
+			// instead of silently skipping the PG.
+			seed := uint64(pl.id)<<32 | uint64(pgid)
+			sel, err := pl.c.cmap.Select(seed, width)
+			if err != nil {
+				pl.c.emitEvent("pg-map-error", fmt.Sprintf(
+					"pool %s pg %d.%d: re-admission mapping for osd%d: %v",
+					pl.name, pl.id, pgid, id, err))
+				continue
+			}
+			pos = -1
+			for i, osd := range sel {
+				if osd == id && pg.shards[i] == -1 {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				continue
+			}
+		} else if pg.shards[pos] != -1 {
+			// The position was re-filled by recovery while the OSD was
+			// out; the returning OSD has no claim on this PG any more.
+			delete(pg.gone, id)
+			delete(pg.gonePos, id)
 			continue
 		}
-		for i, osd := range sel {
-			if osd == id && pg.shards[i] == -1 {
-				pg.shards[i] = id
+
+		pg.shards[pos] = id
+		depart, known := pg.gone[id]
+		divergent := !known // unknown provenance: everything must re-sync
+		if known {
+			for _, e := range pg.dirty {
+				if e > depart {
+					divergent = true
+					break
+				}
 			}
+		}
+		if divergent && len(pg.objects) > 0 {
+			pg.bf[pos] = bfEntry{depart: depart, full: !known}
+		} else {
+			// Nothing written while the OSD was out: its shard is current
+			// and serves immediately.
+			delete(pg.gone, id)
+			delete(pg.gonePos, id)
+			pg.maybeAllClean()
+		}
+		// Post-restore reads must re-account private traffic against the
+		// restored acting set (symmetry with osdOut).
+		if pg.scache != nil {
+			pg.scache.clear()
 		}
 	}
 }
@@ -152,18 +305,18 @@ func (pl *Pool) osdIn(id int) {
 // primary returns the PG's acting primary: the first live shard.
 func (pg *PG) primary() (shardPos int, osd int) {
 	for i, o := range pg.shards {
-		if o >= 0 {
+		if o >= 0 && pg.live(i) {
 			return i, o
 		}
 	}
 	return -1, -1
 }
 
-// liveShards counts live shard positions.
+// liveShards counts live (serving, non-backfilling) shard positions.
 func (pg *PG) liveShards() int {
 	n := 0
-	for _, o := range pg.shards {
-		if o >= 0 {
+	for i := range pg.shards {
+		if pg.live(i) {
 			n++
 		}
 	}

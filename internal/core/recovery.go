@@ -39,21 +39,23 @@ func (pl *Pool) SetRecoveryRate(bytesPerSec int64) {
 // RecoveryRate returns the current repair bandwidth cap (0 = unthrottled).
 func (pl *Pool) RecoveryRate() int64 { return pl.recoveryRate }
 
-// paceState meters one Recover pass against the pool's recovery rate. The
-// reference point rebases whenever the rate changes mid-pass, so a new cap
-// applies from the change onward instead of retroactively charging (or
-// crediting) bytes moved under the old regime.
+// paceState meters one Recover/Backfill pass against the pool's recovery
+// rate. The reference point rebases whenever the rate changes mid-pass, so a
+// new cap applies from the change onward instead of retroactively charging
+// (or crediting) bytes moved under the old regime.
 type paceState struct {
 	rate     int64
 	refTime  sim.Time
 	refMoved int64
 }
 
-// pace throttles the recovery process: sleep long enough that the bytes
-// moved since the pace reference stay at or under the pool's recovery
-// rate.
-func (pl *Pool) pace(p *sim.Proc, ps *paceState, st *RecoveryStats) {
-	moved := st.BytesPulled + st.BytesRebuilt
+// pace throttles a background repair process: sleep long enough that moved
+// bytes since the pace reference stay at or under the pool's recovery rate.
+// All-integer arithmetic — whole seconds first, then the sub-second
+// remainder — so long throttled passes never accumulate float rounding
+// drift (rem < rate keeps rem×1e9 within int64 for any rate below ~9.2
+// GB/s).
+func (pl *Pool) pace(p *sim.Proc, ps *paceState, moved int64) {
 	if pl.recoveryRate != ps.rate {
 		ps.rate = pl.recoveryRate
 		ps.refTime = p.Now()
@@ -63,7 +65,9 @@ func (pl *Pool) pace(p *sim.Proc, ps *paceState, st *RecoveryStats) {
 	if ps.rate <= 0 {
 		return
 	}
-	minElapsed := time.Duration(float64(moved-ps.refMoved) / float64(ps.rate) * 1e9)
+	d := moved - ps.refMoved
+	minElapsed := time.Duration(d/ps.rate)*time.Second +
+		time.Duration(d%ps.rate*int64(time.Second)/ps.rate)
 	if elapsed := time.Duration(p.Now() - ps.refTime); elapsed < minElapsed {
 		p.Sleep(minElapsed - elapsed)
 	}
@@ -163,10 +167,11 @@ func (pl *Pool) recoverECPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt []int, s
 	prim := pl.c.osds[primID]
 
 	for _, obj := range sortedObjects(pg) {
-		// Pull k surviving shards (positions other than the rebuilt ones).
+		// Pull k surviving shards (positions other than the rebuilt ones;
+		// backfilling positions hold stale bytes and cannot be sources).
 		srcs := make([]int, 0, g.k)
 		for pos := 0; pos < g.k+g.m && len(srcs) < g.k; pos++ {
-			if !contains(rebuilt, pos) {
+			if !contains(rebuilt, pos) && pg.live(pos) {
 				srcs = append(srcs, pos)
 			}
 		}
@@ -215,11 +220,12 @@ func (pl *Pool) recoverECPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt []int, s
 		st.ObjectsRepaired++
 		st.ShardsRebuilt += len(rebuilt)
 		st.BytesRebuilt += int64(len(rebuilt)) * g.shardSize
-		pl.pace(p, ps, st)
+		pl.pace(p, ps, st.BytesPulled+st.BytesRebuilt)
 	}
 	if pg.scache != nil {
 		pg.scache.clear()
 	}
+	pg.maybeAllClean()
 	return nil
 }
 
@@ -255,7 +261,7 @@ func (pl *Pool) recoverReplicatedPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt 
 	cm := &pl.c.cfg.Cost
 	source := -1
 	for pos, osd := range pg.shards {
-		if osd >= 0 && !contains(rebuilt, pos) {
+		if osd >= 0 && !contains(rebuilt, pos) && pg.live(pos) {
 			source = osd
 			break
 		}
@@ -287,8 +293,9 @@ func (pl *Pool) recoverReplicatedPG(p *sim.Proc, ps *paceState, pg *PG, rebuilt 
 		st.ObjectsRepaired++
 		st.ReplicasCopied += len(rebuilt)
 		st.BytesRebuilt += int64(len(rebuilt)) * size
-		pl.pace(p, ps, st)
+		pl.pace(p, ps, st.BytesPulled+st.BytesRebuilt)
 	}
+	pg.maybeAllClean()
 	return nil
 }
 
@@ -310,11 +317,25 @@ func contains(xs []int, v int) bool {
 	return false
 }
 
-// Degraded reports how many PGs currently have missing shards.
+// Degraded reports how many PGs currently serve reads by reconstruction:
+// those with missing shards plus those with re-admitted-but-stale
+// (backfilling) positions.
 func (pl *Pool) Degraded() int {
 	n := 0
 	for _, pg := range pl.pgs {
-		if len(missingPositions(pg)) > 0 {
+		if len(missingPositions(pg)) > 0 || len(pg.bf) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Backfilling reports how many PGs have re-admitted positions still awaiting
+// a Backfill pass (stale shards served by reconstruction around them).
+func (pl *Pool) Backfilling() int {
+	n := 0
+	for _, pg := range pl.pgs {
+		if len(pg.bf) > 0 {
 			n++
 		}
 	}

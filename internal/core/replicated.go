@@ -28,8 +28,8 @@ func (pl *Pool) writeReplicated(p *sim.Proc, obj string, off int64, data []byte,
 	prim.Node.CPU.Exec(p, cm.DispatchUser+cm.PGLogUser+cm.PGLockBaseline+cm.TxnPrepUser, 0)
 
 	commits := sim.NewLatch(pl.c.e, pg.liveShards())
-	for _, osdID := range pg.shards {
-		if osdID < 0 {
+	for pos, osdID := range pg.shards {
+		if !pg.live(pos) {
 			continue
 		}
 		osd := pl.c.osds[osdID]
@@ -51,6 +51,7 @@ func (pl *Pool) writeReplicated(p *sim.Proc, obj string, off int64, data []byte,
 		})
 	}
 	pg.noteObject(obj, off+length)
+	pg.noteWrite(obj)
 	pg.lock.Release(1)
 	prim.Workers.Release(1)
 	commits.Wait(p)

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecarray/internal/sim"
+)
+
+// ScrubStats summarizes one Scrub pass: a read-verify sweep over every
+// object in the pool that detects latent (silent) shard errors and repairs
+// them by reconstruction — the deep-scrub safety net behind the paper's
+// durability discussion (an unnoticed bad shard halves the failures an EC
+// group can absorb).
+type ScrubStats struct {
+	PGsScrubbed       int
+	ObjectsScanned    int
+	ErrorsFound       int   // latent shard errors detected
+	ShardsRepaired    int   // shard/replica copies rewritten
+	BytesScanned      int64 // bytes read by the verify sweep
+	BytesRepaired     int64 // bytes rewritten onto repaired shards
+	DurationSimulated time.Duration
+}
+
+// InjectLatentError plants a silent corruption on the shard copy of obj held
+// at shard position pos: the stored bytes flip in place with no simulated
+// I/O (a media-level latent error), and the PG records it so a Scrub pass
+// can detect and repair it. The position must currently be live — errors on
+// missing or backfilling shards are repaired by Recover/Backfill anyway.
+func (pl *Pool) InjectLatentError(obj string, pos int) error {
+	pg := pl.pgOf(obj)
+	if _, ok := pg.objects[obj]; !ok {
+		return fmt.Errorf("core: pool %s: no object %q", pl.name, obj)
+	}
+	if pos < 0 || pos >= len(pg.shards) {
+		return fmt.Errorf("core: pool %s: shard position %d out of range [0,%d)", pl.name, pos, len(pg.shards))
+	}
+	if !pg.live(pos) {
+		return fmt.Errorf("core: pool %s: shard position %d of %q is not live", pl.name, pos, obj)
+	}
+	if pg.latent[obj] == nil {
+		pg.latent[obj] = map[int]bool{}
+	}
+	pg.latent[obj][pos] = true
+	osd := pl.c.osds[pg.shards[pos]]
+	size := pg.objects[obj]
+	if pl.profile.IsEC() {
+		size = pl.geom().shardSize
+	}
+	osd.Store.Corrupt(obj, 0, size)
+	if pg.scache != nil {
+		pg.scache.clear()
+	}
+	pl.c.emitEvent("latent-error", fmt.Sprintf(
+		"pool %s: %s shard %d on osd%d corrupted", pl.name, obj, pos, pg.shards[pos]))
+	return nil
+}
+
+// LatentErrors counts the recorded-but-unrepaired latent shard errors in the
+// pool.
+func (pl *Pool) LatentErrors() int {
+	n := 0
+	for _, pg := range pl.pgs {
+		for _, positions := range pg.latent {
+			n += len(positions)
+		}
+	}
+	return n
+}
+
+// Scrub runs a deep-scrub pass over the pool as simulation process p: every
+// live shard copy of every object is read in full (charging the same device
+// and network I/O a real verify sweep costs), latent errors are detected
+// through the PG's error bookkeeping, and each bad shard is repaired in
+// place — EC chunks by reconstruction from k good shards, replicas by
+// re-copy from a clean replica.
+func (pl *Pool) Scrub(p *sim.Proc) (ScrubStats, error) {
+	start := p.Now()
+	pl.c.emitEvent("scrub-start", fmt.Sprintf("pool %s: %d PGs", pl.name, len(pl.pgs)))
+	var st ScrubStats
+	for _, pg := range pl.pgs {
+		if len(pg.objects) == 0 {
+			continue
+		}
+		var err error
+		if pl.profile.IsEC() {
+			err = pl.scrubECPG(p, pg, &st)
+		} else {
+			err = pl.scrubReplicatedPG(p, pg, &st)
+		}
+		if err != nil {
+			return st, err
+		}
+		st.PGsScrubbed++
+	}
+	st.DurationSimulated = time.Duration(p.Now() - start)
+	pl.c.emitEvent("scrub-done", fmt.Sprintf(
+		"pool %s: %d objects scanned, %d errors found, %d shards repaired in %v",
+		pl.name, st.ObjectsScanned, st.ErrorsFound, st.ShardsRepaired, st.DurationSimulated))
+	return st, nil
+}
+
+// latentLivePositions returns the recorded error positions of obj that are
+// currently live, ascending.
+func latentLivePositions(pg *PG, obj string) []int {
+	var out []int
+	for pos := range pg.latent[obj] {
+		if pos < len(pg.shards) && pg.live(pos) {
+			out = append(out, pos)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// scrubECPG verifies and repairs one EC PG.
+func (pl *Pool) scrubECPG(p *sim.Proc, pg *PG, st *ScrubStats) error {
+	g := pl.geom()
+	cm := &pl.c.cfg.Cost
+	for _, obj := range sortedObjects(pg) {
+		pg.lock.Acquire(p, 1)
+		_, primID := pg.primary()
+		if primID < 0 {
+			pg.lock.Release(1)
+			return fmt.Errorf("core: pg %d.%d has no live OSDs", pl.id, pg.id)
+		}
+		prim := pl.c.osds[primID]
+
+		// Verify sweep: pull every live shard copy in full.
+		var live []int
+		for pos := range pg.shards {
+			if pg.live(pos) {
+				live = append(live, pos)
+			}
+		}
+		results := make([][]byte, len(live))
+		pl.fetchShards(p, pg, prim, obj, live, 0, g.shardSize, results)
+		st.BytesScanned += int64(len(live)) * g.shardSize
+		// Checksum verification of the scanned bytes at the primary.
+		prim.Node.CPU.Exec(p, perKB(int64(len(live))*g.shardSize, cm.ConcatPerKB), 0)
+		st.ObjectsScanned++
+
+		bad := latentLivePositions(pg, obj)
+		if len(bad) == 0 {
+			pg.lock.Release(1)
+			continue
+		}
+		st.ErrorsFound += len(bad)
+
+		// Repair by reconstruction from k good shards (already fetched).
+		srcs := make([]int, 0, g.k)
+		srcResults := make([][]byte, 0, g.k)
+		for i, pos := range live {
+			if len(srcs) == g.k {
+				break
+			}
+			if !pg.latent[obj][pos] {
+				srcs = append(srcs, pos)
+				srcResults = append(srcResults, results[i])
+			}
+		}
+		if len(srcs) < g.k {
+			pg.lock.Release(1)
+			return fmt.Errorf("core: pg object %s beyond repair (%d good shards)", obj, len(srcs))
+		}
+		prim.Node.CPU.Exec(p, perKB(int64(len(bad))*g.shardSize*int64(g.k), cm.EncodeCostPerKB()), 0)
+		var shardBytes map[int][]byte
+		if pl.c.cfg.CarryData {
+			var err error
+			shardBytes, err = pl.rebuildShardBytes(obj, srcs, bad, srcResults, g)
+			if err != nil {
+				pg.lock.Release(1)
+				return err
+			}
+		}
+		latch := sim.NewLatch(pl.c.e, len(bad))
+		for _, pos := range bad {
+			osd := pl.c.osds[pg.shards[pos]]
+			var payload []byte
+			if shardBytes != nil {
+				payload = shardBytes[pos]
+			}
+			pl.c.e.GoNamed("scrub", obj, pos, func(sp *sim.Proc) {
+				pl.c.sendPrivate(sp, prim.Node, osd.Node, g.shardSize)
+				osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+				osd.Store.Write(sp, obj, 0, payload, g.shardSize)
+				pl.c.sendPrivate(sp, osd.Node, prim.Node, 0)
+				latch.Done()
+			})
+		}
+		latch.Wait(p)
+		for _, pos := range bad {
+			delete(pg.latent[obj], pos)
+		}
+		if len(pg.latent[obj]) == 0 {
+			delete(pg.latent, obj)
+		}
+		st.ShardsRepaired += len(bad)
+		st.BytesRepaired += int64(len(bad)) * g.shardSize
+		if pg.scache != nil {
+			pg.scache.clear()
+		}
+		pg.lock.Release(1)
+	}
+	return nil
+}
+
+// scrubReplicatedPG verifies and repairs one replicated PG.
+func (pl *Pool) scrubReplicatedPG(p *sim.Proc, pg *PG, st *ScrubStats) error {
+	cm := &pl.c.cfg.Cost
+	for _, obj := range sortedObjects(pg) {
+		size := pg.objects[obj]
+		if size <= 0 {
+			continue
+		}
+		pg.lock.Acquire(p, 1)
+
+		// Verify sweep: every live replica reads its full copy.
+		var live []int
+		for pos := range pg.shards {
+			if pg.live(pos) {
+				live = append(live, pos)
+			}
+		}
+		latch := sim.NewLatch(pl.c.e, len(live))
+		for _, pos := range live {
+			osd := pl.c.osds[pg.shards[pos]]
+			pl.c.e.GoNamed("scrub", obj, pos, func(sp *sim.Proc) {
+				osd.Node.CPU.Exec(sp, cm.DispatchUser, cm.StoreSubmitKern)
+				osd.Store.Read(sp, obj, 0, size)
+				latch.Done()
+			})
+		}
+		latch.Wait(p)
+		st.BytesScanned += int64(len(live)) * size
+		st.ObjectsScanned++
+
+		bad := latentLivePositions(pg, obj)
+		if len(bad) == 0 {
+			pg.lock.Release(1)
+			continue
+		}
+		st.ErrorsFound += len(bad)
+
+		// Repair by re-copy from the first clean live replica.
+		source := -1
+		for _, pos := range live {
+			if !pg.latent[obj][pos] {
+				source = pos
+				break
+			}
+		}
+		if source < 0 {
+			pg.lock.Release(1)
+			return fmt.Errorf("core: object %s has no clean replica", obj)
+		}
+		src := pl.c.osds[pg.shards[source]]
+		src.Node.CPU.Exec(p, 0, cm.StoreSubmitKern)
+		data := src.Store.Read(p, obj, 0, size)
+		st.BytesScanned += size
+		rlatch := sim.NewLatch(pl.c.e, len(bad))
+		for _, pos := range bad {
+			osd := pl.c.osds[pg.shards[pos]]
+			pl.c.e.GoNamed("scrub", obj, pos, func(sp *sim.Proc) {
+				pl.c.sendPrivate(sp, src.Node, osd.Node, size)
+				osd.Node.CPU.Exec(sp, cm.DispatchUser+cm.TxnPrepUser, cm.StoreSubmitKern)
+				osd.Store.Write(sp, obj, 0, data, size)
+				pl.c.sendPrivate(sp, osd.Node, src.Node, 0)
+				rlatch.Done()
+			})
+		}
+		rlatch.Wait(p)
+		for _, pos := range bad {
+			delete(pg.latent[obj], pos)
+		}
+		if len(pg.latent[obj]) == 0 {
+			delete(pg.latent, obj)
+		}
+		st.ShardsRepaired += len(bad)
+		st.BytesRepaired += int64(len(bad)) * size
+		pg.lock.Release(1)
+	}
+	return nil
+}

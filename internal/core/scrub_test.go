@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ecarray/internal/sim"
+)
+
+// TestScrubDetectsAndRepairsECLatentError: an injected silent corruption on
+// a data shard is visible to reads (nothing checks it inline), and a deep
+// scrub detects it through the verify sweep and repairs it by
+// reconstruction.
+func TestScrubDetectsAndRepairsECLatentError(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(300_000, 45)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	obj := img.ObjectName(0)
+	if err := pl.InjectLatentError(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pl.LatentErrors() != 1 {
+		t.Fatalf("latent errors = %d, want 1", pl.LatentErrors())
+	}
+	// The error is silent: reads pull the corrupted data chunk as-is.
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if bytes.Equal(got, payload) {
+			t.Error("corrupted shard did not change the read: injection had no effect")
+		}
+	})
+
+	var st ScrubStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Scrub(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if st.ErrorsFound != 1 || st.ShardsRepaired != 1 {
+		t.Fatalf("scrub found %d errors, repaired %d shards, want 1/1 (%+v)",
+			st.ErrorsFound, st.ShardsRepaired, st)
+	}
+	if st.ObjectsScanned == 0 || st.BytesScanned == 0 || st.BytesRepaired == 0 {
+		t.Fatalf("empty scrub stats: %+v", st)
+	}
+	if pl.LatentErrors() != 0 {
+		t.Fatalf("latent errors = %d after scrub, want 0", pl.LatentErrors())
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("post-scrub read mismatch (%v)", err)
+		}
+	})
+}
+
+// TestScrubRepairsReplicatedLatentError: a corrupted non-primary replica is
+// invisible to reads (they hit the primary), found by the scrub sweep, and
+// re-copied from a clean replica.
+func TestScrubRepairsReplicatedLatentError(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("rep", ProfileReplicated(3))
+	img, _ := c.CreateImage("rep", "img", 8<<20)
+	payload := pattern(200_000, 71)
+
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+
+	obj := img.ObjectName(0)
+	if err := pl.InjectLatentError(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Truly latent: the primary (position 0) serves reads, so nothing
+	// notices the bad replica.
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read through the primary must be unaffected (%v)", err)
+		}
+	})
+
+	var st ScrubStats
+	runOp(t, e, c, func(p *sim.Proc) {
+		var err error
+		st, err = pl.Scrub(p)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if st.ErrorsFound != 1 || st.ShardsRepaired != 1 {
+		t.Fatalf("scrub found %d errors, repaired %d replicas, want 1/1", st.ErrorsFound, st.ShardsRepaired)
+	}
+
+	// Fail the other replicas so reads can only come from the repaired copy.
+	acting := pl.ActingSet(obj)
+	repaired := acting[1]
+	for _, osd := range acting {
+		if osd != repaired {
+			c.MarkOSDOut(osd)
+		}
+	}
+	runOp(t, e, c, func(p *sim.Proc) {
+		got, err := img.Read(p, 0, int64(len(payload)))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("read from the repaired replica mismatch (%v)", err)
+		}
+	})
+}
+
+// TestScrubInjectValidation: injection refuses unknown objects, out-of-range
+// positions and non-live positions.
+func TestScrubInjectValidation(t *testing.T) {
+	e, c := newTestCluster(t, smallConfig(true))
+	pl, _ := c.CreatePool("ec", ProfileEC(6, 3))
+	img, _ := c.CreateImage("ec", "img", 8<<20)
+	payload := pattern(100_000, 9)
+	runOp(t, e, c, func(p *sim.Proc) {
+		if err := img.Write(p, 0, payload, int64(len(payload))); err != nil {
+			t.Error(err)
+		}
+	})
+	obj := img.ObjectName(0)
+
+	if err := pl.InjectLatentError("no-such-object", 0); err == nil {
+		t.Error("injection on a missing object must fail")
+	}
+	if err := pl.InjectLatentError(obj, 9); err == nil {
+		t.Error("injection beyond the shard width must fail")
+	}
+	if err := pl.InjectLatentError(obj, -1); err == nil {
+		t.Error("injection at a negative position must fail")
+	}
+	c.MarkOSDOut(pl.ActingSet(obj)[0])
+	if err := pl.InjectLatentError(obj, 0); err == nil {
+		t.Error("injection on a non-live position must fail")
+	}
+	if pl.LatentErrors() != 0 {
+		t.Fatalf("rejected injections recorded %d latent errors", pl.LatentErrors())
+	}
+}

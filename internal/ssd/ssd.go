@@ -468,6 +468,32 @@ func (d *Device) Write(p *sim.Proc, off int64, data []byte, length int64) {
 	}
 }
 
+// Corrupt flips the stored bytes of [off, off+length) in place: a silent
+// media error. No host command is issued — no virtual time passes, no
+// counters move, no FTL state changes. Only pages that carry data are
+// touched; in size-only mode the corruption exists purely in higher-level
+// bookkeeping.
+func (d *Device) Corrupt(off, length int64) {
+	d.checkRange(off, length)
+	if !d.cfg.CarryData {
+		return
+	}
+	ps := int64(d.cfg.PageSize)
+	for pg := d.pageOf(off); pg <= d.pageOf(off + length - 1); pg++ {
+		pdata, ok := d.data[pg]
+		if !ok {
+			continue
+		}
+		pStart := pg * ps
+		for i := 0; i < d.cfg.PageSize; i++ {
+			abs := pStart + int64(i)
+			if abs >= off && abs < off+length {
+				pdata[i] ^= 0xFF
+			}
+		}
+	}
+}
+
 // Trim unmaps whole pages fully covered by [off, off+length), making them
 // GC-reclaimable without migration (issued by the object store when objects
 // are deleted or extents freed).

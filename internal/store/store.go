@@ -406,6 +406,33 @@ func (s *Store) Read(p *sim.Proc, name string, off, length int64) []byte {
 	return out
 }
 
+// Corrupt silently flips the object's stored bytes over [off, off+length):
+// a latent shard error for scrub experiments. No simulated I/O is issued.
+// Only allocated extents are touched (holes have no media to corrupt);
+// affected cache blocks are dropped so subsequent reads observe the
+// corruption instead of a stale clean copy.
+func (s *Store) Corrupt(name string, off, length int64) {
+	o, ok := s.objs[name]
+	if !ok {
+		return
+	}
+	bs := s.cfg.BlockSize
+	for blk := off / bs * bs; blk < off+length; blk += bs {
+		if blk >= o.size {
+			break
+		}
+		u := blk / s.cfg.MinAlloc
+		if u >= int64(len(o.units)) || o.units[u] < 0 {
+			continue // hole
+		}
+		dOff := s.devOffset(o, blk)
+		lo := max64(off, blk)
+		hi := min64(off+length, blk+bs)
+		s.dev.Corrupt(dOff+(lo-blk), hi-lo)
+		s.cacheDrop(s.cacheKey(dOff))
+	}
+}
+
 // Prefill creates (or extends) an object of the given size with allocated
 // extents but without simulating any device I/O. It models a pre-written
 // image when setting up read experiments, as the paper does before its read
@@ -448,6 +475,13 @@ func alignUp(v, a int64) int64 { return (v + a - 1) / a * a }
 
 func min64(a, b int64) int64 {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
 		return a
 	}
 	return b

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ecarray/internal/core"
+	"ecarray/internal/sim"
+)
+
+// goldenRestoreBackfillDigest pins the full ScenarioResult of the transient-
+// outage lifecycle: a mixed foreground job across healthy/outage/restored
+// phases, an OSD failure, a guaranteed divergent write while it is out, a
+// throttled restore-with-backfill, a latent-error injection and the deep
+// scrub that repairs it — plus a post-drain read. A changed value means the
+// backfill/scrub paths shifted simulated behaviour; re-capture only when
+// that is intended.
+const goldenRestoreBackfillDigest = "6c58fb7df47fa437"
+
+func restoreBackfillDigest(t *testing.T, codecConc int) string {
+	t.Helper()
+	c, imgEC, _ := scenarioCluster(t, true, codecConc)
+	imgEC.Prefill()
+	obj0 := imgEC.ObjectName(0)
+	victim := c.Pool("ec").ActingSet(obj0)[0]
+	res, err := NewScenario(c).
+		AddJob(imgEC, Job{
+			Name: "mixed", Op: Mixed, MixRead: 50, Pattern: Random, BlockSize: 16 << 10,
+			QueueDepth: 4, Duration: 900 * time.Millisecond, Seed: 41,
+		}).
+		Phase("healthy", 300*time.Millisecond).
+		Phase("outage", 300*time.Millisecond).
+		Phase("restored", 300*time.Millisecond).
+		At(300*time.Millisecond, FailOSD(victim)).
+		// A write that provably lands on the victim's PG while it is out,
+		// so the restore always has divergence to backfill.
+		At(450*time.Millisecond, Callback("outage-write", func(p *sim.Proc, cl *core.Cluster) {
+			payload := make([]byte, 64<<10)
+			for i := range payload {
+				payload[i] = byte(i*13 + 1)
+			}
+			if err := imgEC.Write(p, 0, payload, int64(len(payload))); err != nil {
+				t.Errorf("outage write: %v", err)
+			}
+		})).
+		At(600*time.Millisecond, SetRecoveryRate("ec", 256<<20)).
+		At(600*time.Millisecond, RestoreOSD(victim)).
+		At(700*time.Millisecond, InjectCorruption("ec", obj0, 1)).
+		At(750*time.Millisecond, StartScrub("ec")).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backfills) == 0 || res.Backfills[0].Stats.ObjectsSynced == 0 {
+		t.Fatalf("restore produced no backfill work: %+v", res.Backfills)
+	}
+	if len(res.Injects) != 1 || res.Injects[0].Err != nil {
+		t.Fatalf("injection outcome: %+v", res.Injects)
+	}
+	if len(res.Scrubs) != 1 || res.Scrubs[0].Stats.ErrorsFound == 0 || res.Scrubs[0].Stats.ShardsRepaired == 0 {
+		t.Fatalf("scrub missed the injected error: %+v", res.Scrubs)
+	}
+	e := c.Engine()
+	e.Drain()
+
+	var post int64
+	e.RunProc("post-drain", func(p *sim.Proc) {
+		data, err := imgEC.Read(p, 0, 8<<10)
+		if err != nil {
+			t.Errorf("post-drain read: %v", err)
+			return
+		}
+		post = int64(len(data)) + int64(p.Now())
+	})
+
+	sum := uint64(14695981039346656037)
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			sum ^= uint64(s[i])
+			sum *= 1099511628211
+		}
+	}
+	fold(fmt.Sprintf("%+v", res))
+	fold(fmt.Sprintf("post=%d", post))
+	return fmt.Sprintf("%016x", sum)
+}
+
+// TestRestoreBackfillGoldenDigest pins the fail→write→restore→backfill→scrub
+// scenario byte-for-byte, across codec concurrency 1 vs 4.
+func TestRestoreBackfillGoldenDigest(t *testing.T) {
+	for _, conc := range []int{1, 4} {
+		if got := restoreBackfillDigest(t, conc); got != goldenRestoreBackfillDigest {
+			t.Errorf("codec concurrency %d: restore-backfill digest = %s, want golden %s",
+				conc, got, goldenRestoreBackfillDigest)
+		}
+	}
+}
+
+// TestScenarioRejectsRestoreOfUpOSD: scenario validation walks the event
+// timeline and refuses a RestoreOSD whose target is not out at that point —
+// both never-failed targets and restore-before-fail orderings.
+func TestScenarioRejectsRestoreOfUpOSD(t *testing.T) {
+	tiny := Job{
+		Name: "bg", Op: Read, Pattern: Random, BlockSize: 4 << 10,
+		QueueDepth: 1, Duration: 30 * time.Millisecond, Seed: 3,
+	}
+
+	c, imgEC, _ := scenarioCluster(t, false, 1)
+	imgEC.Prefill()
+	_, err := NewScenario(c).
+		AddJob(imgEC, tiny).
+		At(10*time.Millisecond, RestoreOSD(2)).
+		Run()
+	if err == nil || !strings.Contains(err.Error(), "is not out") {
+		t.Fatalf("restoring a never-failed OSD: err = %v, want \"is not out\"", err)
+	}
+
+	c2, img2, _ := scenarioCluster(t, false, 1)
+	img2.Prefill()
+	_, err = NewScenario(c2).
+		AddJob(img2, tiny).
+		At(20*time.Millisecond, FailOSD(2)).
+		At(10*time.Millisecond, RestoreOSD(2)).
+		Run()
+	if err == nil || !strings.Contains(err.Error(), "is not out") {
+		t.Fatalf("restore scheduled before the fail: err = %v, want \"is not out\"", err)
+	}
+
+	// An OSD failed before the scenario was built seeds the out-set, so
+	// restoring it is valid; a fail→restore pair in order is valid too.
+	c3, img3, _ := scenarioCluster(t, false, 1)
+	img3.Prefill()
+	c3.MarkOSDOut(2)
+	if _, err := NewScenario(c3).
+		AddJob(img3, tiny).
+		At(5*time.Millisecond, RestoreOSD(2)).
+		At(15*time.Millisecond, FailOSD(3)).
+		At(25*time.Millisecond, RestoreOSDNoBackfill(3)).
+		Run(); err != nil {
+		t.Fatalf("valid fail/restore timeline rejected: %v", err)
+	}
+}
+
+// TestRestoreOSDNoBackfillLeavesDivergence: the escape hatch re-admits the
+// OSD but runs no backfill pass — divergent positions stay excluded from
+// service until a pass runs some other way.
+func TestRestoreOSDNoBackfillLeavesDivergence(t *testing.T) {
+	c, imgEC, _ := scenarioCluster(t, true, 1)
+	imgEC.Prefill()
+	obj0 := imgEC.ObjectName(0)
+	victim := c.Pool("ec").ActingSet(obj0)[0]
+	res, err := NewScenario(c).
+		AddJob(imgEC, Job{
+			Name: "bg", Op: Read, Pattern: Random, BlockSize: 8 << 10,
+			QueueDepth: 2, Duration: 400 * time.Millisecond, Seed: 7,
+		}).
+		At(100*time.Millisecond, FailOSD(victim)).
+		At(200*time.Millisecond, Callback("outage-write", func(p *sim.Proc, cl *core.Cluster) {
+			payload := make([]byte, 64<<10)
+			for i := range payload {
+				payload[i] = byte(i*29 + 5)
+			}
+			if err := imgEC.Write(p, 0, payload, int64(len(payload))); err != nil {
+				t.Errorf("outage write: %v", err)
+			}
+		})).
+		At(300*time.Millisecond, RestoreOSDNoBackfill(victim)).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backfills) != 0 {
+		t.Fatalf("RestoreOSDNoBackfill ran a backfill pass: %+v", res.Backfills)
+	}
+	pl := c.Pool("ec")
+	if pl.Backfilling() == 0 {
+		t.Fatal("divergent positions must stay backfilling without a pass")
+	}
+	c.Engine().RunProc("late-backfill", func(p *sim.Proc) {
+		st, err := pl.Backfill(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if st.ObjectsSynced == 0 {
+			t.Errorf("late backfill moved nothing: %+v", st)
+		}
+	})
+	if pl.Backfilling() != 0 {
+		t.Fatal("pool still backfilling after the late pass")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"ecarray/internal/core"
@@ -14,8 +15,9 @@ import (
 // Scenario composes a whole experiment on one cluster: any number of
 // concurrent Jobs (each bound to its own image and pool, closed-loop or
 // open-loop), a phase timeline that windows the metrics, and mid-run
-// fault/repair events (FailOSD, RestoreOSD, StartRecovery, recovery-rate
-// changes). Everything runs on the cluster's deterministic simulation
+// fault/repair events (FailOSD, RestoreOSD with automatic backfill,
+// StartRecovery, StartScrub, InjectCorruption, recovery-rate changes).
+// Everything runs on the cluster's deterministic simulation
 // engine, so the same seed and scenario produce byte-identical results.
 //
 // Build a scenario with NewScenario and the chainable setters, then call
@@ -155,6 +157,36 @@ type RecoveryResult struct {
 	Err   error
 }
 
+// BackfillResult is the outcome of one backfill pass: RestoreOSD runs one
+// per pool that had divergent (backfilling) PGs after re-admission.
+type BackfillResult struct {
+	Pool  string
+	OSD   int
+	Start time.Duration // offsets from scenario start
+	End   time.Duration
+	Stats core.BackfillStats
+	Err   error
+}
+
+// ScrubResult is the outcome of one StartScrub event.
+type ScrubResult struct {
+	Pool  string
+	Start time.Duration // offsets from scenario start
+	End   time.Duration
+	Stats core.ScrubStats
+	Err   error
+}
+
+// InjectResult is the outcome of one InjectCorruption event. Err is non-nil
+// when the target object or shard position did not exist at firing time.
+type InjectResult struct {
+	Pool  string
+	Obj   string
+	Shard int
+	At    time.Duration // offset from scenario start
+	Err   error
+}
+
 // JobResult is one job's outcome: the whole-run Result plus per-phase
 // slices. Phase Results carry the job's client-side numbers for that phase
 // window; their Metrics field holds the cluster-wide (not per-job) counter
@@ -179,6 +211,13 @@ type ScenarioResult struct {
 	Samples []Sample
 	// Recoveries lists StartRecovery outcomes in completion order.
 	Recoveries []RecoveryResult
+	// Backfills lists the backfill passes RestoreOSD ran, in completion
+	// order.
+	Backfills []BackfillResult
+	// Scrubs lists StartScrub outcomes in completion order.
+	Scrubs []ScrubResult
+	// Injects lists InjectCorruption outcomes in firing order.
+	Injects []InjectResult
 	// Events is the cluster event log (OSD failures/restores, recovery
 	// lifecycle, throttle changes) in firing order.
 	Events []core.ClusterEvent
@@ -235,21 +274,114 @@ func (ev failOSD) check(c *core.Cluster) error {
 }
 func (ev failOSD) run(p *sim.Proc, r *scenarioRun) { r.c.MarkOSDOut(ev.id) }
 
-type restoreOSD struct{ id int }
+type restoreOSD struct {
+	id       int
+	backfill bool
+}
 
-// RestoreOSD returns an event that marks OSD id back in. Shard contents
-// are not backfilled; restore only OSDs whose data is still valid, or run
-// recovery first.
-func RestoreOSD(id int) Event { return restoreOSD{id} }
+// RestoreOSD returns an event that marks OSD id back in and immediately
+// backfills: shard positions whose objects diverged while the OSD was out
+// come back `backfilling` (served by reconstruction around them), and a
+// backfill pass — paced by each pool's recovery rate — re-syncs the
+// divergent objects and flips the positions clean. One BackfillResult per
+// affected pool lands in ScenarioResult.Backfills. Scenario validation
+// rejects restoring an OSD that is not out at that point of the timeline.
+func RestoreOSD(id int) Event { return restoreOSD{id: id, backfill: true} }
 
-func (ev restoreOSD) String() string { return fmt.Sprintf("restore-osd(%d)", ev.id) }
+// RestoreOSDNoBackfill is RestoreOSD without the automatic backfill pass:
+// divergent positions stay `backfilling` (excluded from reads and writes)
+// until the caller runs a backfill some other way. Use it to measure the
+// degraded window itself, or to schedule the re-sync separately.
+func RestoreOSDNoBackfill(id int) Event { return restoreOSD{id: id, backfill: false} }
+
+func (ev restoreOSD) String() string {
+	if !ev.backfill {
+		return fmt.Sprintf("restore-osd-no-backfill(%d)", ev.id)
+	}
+	return fmt.Sprintf("restore-osd(%d)", ev.id)
+}
 func (ev restoreOSD) check(c *core.Cluster) error {
 	if ev.id < 0 || ev.id >= len(c.OSDs()) {
 		return fmt.Errorf("workload: RestoreOSD(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
 	}
 	return nil
 }
-func (ev restoreOSD) run(p *sim.Proc, r *scenarioRun) { r.c.MarkOSDIn(ev.id) }
+func (ev restoreOSD) run(p *sim.Proc, r *scenarioRun) {
+	r.c.MarkOSDIn(ev.id)
+	if !ev.backfill {
+		return
+	}
+	for _, pl := range r.c.Pools() {
+		if pl.Backfilling() == 0 {
+			continue
+		}
+		bf := BackfillResult{Pool: pl.Name(), OSD: ev.id, Start: r.rel(p.Now())}
+		bf.Stats, bf.Err = pl.Backfill(p)
+		bf.End = r.rel(p.Now())
+		r.backfills = append(r.backfills, bf)
+	}
+}
+
+type startScrub struct{ pool string }
+
+// StartScrub returns an event that launches a deep-scrub pass on the named
+// pool: every live shard copy of every object is read and verified, and
+// latent shard errors (InjectCorruption) are detected and repaired by
+// reconstruction. The outcome lands in ScenarioResult.Scrubs.
+func StartScrub(pool string) Event { return startScrub{pool} }
+
+func (ev startScrub) String() string { return fmt.Sprintf("start-scrub(%s)", ev.pool) }
+func (ev startScrub) check(c *core.Cluster) error {
+	if c.Pool(ev.pool) == nil {
+		return fmt.Errorf("workload: StartScrub: no pool %q", ev.pool)
+	}
+	return nil
+}
+func (ev startScrub) run(p *sim.Proc, r *scenarioRun) {
+	pl := r.c.Pool(ev.pool)
+	sc := ScrubResult{Pool: ev.pool, Start: r.rel(p.Now())}
+	sc.Stats, sc.Err = pl.Scrub(p)
+	sc.End = r.rel(p.Now())
+	r.scrubs = append(r.scrubs, sc)
+}
+
+type injectCorruption struct {
+	pool  string
+	obj   string
+	shard int
+}
+
+// InjectCorruption returns an event that silently corrupts the shard copy
+// of obj held at shard position shard in the named pool — a latent media
+// error: no I/O is simulated and nothing notices until a scrub reads the
+// shard back. The outcome (including a lookup failure if the object does
+// not exist at firing time) lands in ScenarioResult.Injects.
+func InjectCorruption(pool, obj string, shard int) Event {
+	return injectCorruption{pool: pool, obj: obj, shard: shard}
+}
+
+func (ev injectCorruption) String() string {
+	return fmt.Sprintf("inject-corruption(%s, %s, shard %d)", ev.pool, ev.obj, ev.shard)
+}
+func (ev injectCorruption) check(c *core.Cluster) error {
+	if c.Pool(ev.pool) == nil {
+		return fmt.Errorf("workload: InjectCorruption: no pool %q", ev.pool)
+	}
+	if ev.shard < 0 {
+		return fmt.Errorf("workload: InjectCorruption: negative shard position %d", ev.shard)
+	}
+	return nil
+}
+func (ev injectCorruption) run(p *sim.Proc, r *scenarioRun) {
+	pl := r.c.Pool(ev.pool)
+	r.injects = append(r.injects, InjectResult{
+		Pool:  ev.pool,
+		Obj:   ev.obj,
+		Shard: ev.shard,
+		At:    r.rel(p.Now()),
+		Err:   pl.InjectLatentError(ev.obj, ev.shard),
+	})
+}
 
 type startRecovery struct{ pool string }
 
@@ -359,6 +491,9 @@ type scenarioRun struct {
 	mergedThr  *stats.Series
 	samples    []Sample
 	recoveries []RecoveryResult
+	backfills  []BackfillResult
+	scrubs     []ScrubResult
+	injects    []InjectResult
 	events     []core.ClusterEvent
 }
 
@@ -398,6 +533,9 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 		if err := se.ev.check(s.c); err != nil {
 			return nil, err
 		}
+	}
+	if err := s.checkFailRestoreOrder(); err != nil {
+		return nil, err
 	}
 
 	r := &scenarioRun{s: s, c: s.c, e: s.c.Engine()}
@@ -493,6 +631,37 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 	r.e.Run()
 
 	return r.collect(), nil
+}
+
+// checkFailRestoreOrder walks the event timeline (events at the same
+// instant fire in scheduling order, i.e. At-call order) and rejects a
+// RestoreOSD whose target is not out at that point: the restore would
+// silently no-op, which always means a mis-specified scenario. The initial
+// out-set comes from the cluster's current OSD state, so restoring an OSD
+// failed before the scenario was built stays valid.
+func (s *Scenario) checkFailRestoreOrder() error {
+	ordered := make([]scheduledEvent, len(s.events))
+	copy(ordered, s.events)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
+	out := map[int]bool{}
+	for _, o := range s.c.OSDs() {
+		if !o.Up() {
+			out[o.ID] = true
+		}
+	}
+	for _, se := range ordered {
+		switch ev := se.ev.(type) {
+		case failOSD:
+			out[ev.id] = true
+		case restoreOSD:
+			if !out[ev.id] {
+				return fmt.Errorf("workload: %s at %v: osd%d is not out at that point in the timeline",
+					se.ev, se.at, ev.id)
+			}
+			delete(out, ev.id)
+		}
+	}
+	return nil
 }
 
 // startJob allocates a job's state and spawns its load generators
@@ -723,6 +892,9 @@ func (r *scenarioRun) collect() *ScenarioResult {
 		Metrics:    r.snaps[len(r.phases)],
 		Samples:    r.samples,
 		Recoveries: r.recoveries,
+		Backfills:  r.backfills,
+		Scrubs:     r.scrubs,
+		Injects:    r.injects,
 		Events:     r.events,
 		Seconds:    r.rel(r.end).Seconds(),
 	}
