@@ -8,12 +8,19 @@
 //	ecctl map      [-profile ...] -object rbd_data.vol.0000000000000000
 //	ecctl osd-df   [-profile ...] [-duration 1s]
 //	ecctl scenario [-profile ...] [-duration 1s] [-fail 2] [-rate 128]
+//	ecctl degrade  [-profile ...] [-duration 1s] [-osd 0]
+//	               [-latency-mult 10] [-error-rate 0] [-clear=true]
 //
 // osd-df drives two concurrent tenants (a writer and a reader) through the
-// Scenario API and dumps per-OSD device counters. scenario runs the
-// healthy→degraded→recovering timeline — fail OSDs mid-run, start a
-// throttled recovery — and prints per-phase service metrics plus the
-// cluster event log.
+// Scenario API and dumps per-OSD device counters plus each OSD's tracked
+// health score. scenario runs the healthy→degraded→recovering timeline —
+// fail OSDs mid-run, start a throttled recovery — and prints per-phase
+// service metrics plus the cluster event log. degrade runs the gray-failure
+// timeline instead: the victim OSD stays up but serves with the given
+// latency multiplier and intermittent-error rate while the tail-tolerant
+// read path (deadlines, hedges, the health breaker) routes around it;
+// -clear=false leaves the fault in place instead of restoring health at
+// the last phase boundary.
 package main
 
 import (
@@ -38,6 +45,10 @@ func main() {
 	duration := fs.Duration("duration", time.Second, "workload length (osd-df), phase length (scenario)")
 	failN := fs.Int("fail", 2, "OSDs to fail mid-run (scenario)")
 	rateMiB := fs.Int64("rate", 0, "recovery throttle in MiB/s, 0 = unthrottled (scenario)")
+	victim := fs.Int("osd", 0, "OSD to degrade (degrade)")
+	latMult := fs.Float64("latency-mult", 10, "device latency multiplier, 1 = healthy (degrade)")
+	errRate := fs.Float64("error-rate", 0, "intermittent I/O error probability (degrade)")
+	clear := fs.Bool("clear", true, "restore the OSD's health at the last phase boundary (degrade)")
 	fs.Parse(os.Args[2:]) //nolint:errcheck
 
 	profile, err := parseProfile(*profileName)
@@ -48,6 +59,10 @@ func main() {
 	cfg := ecarray.DefaultConfig()
 	cfg.DeviceCapacity = 2 << 30
 	cfg.PGsPerPool = max(*pgs, 32)
+	if cmd == "osd-df" || cmd == "degrade" {
+		// Health scores only accumulate on the tail-tolerant read path.
+		cfg.Gray = ecarray.DefaultGrayConfig()
+	}
 	cluster, err := ecarray.NewCluster(cfg)
 	if err != nil {
 		fatal(err)
@@ -76,6 +91,8 @@ func main() {
 		osdDF(cluster, *duration)
 	case "scenario":
 		runScenario(cluster, *duration, *failN, *rateMiB)
+	case "degrade":
+		runDegrade(cluster, *duration, *victim, *latMult, *errRate, *clear)
 	default:
 		usage()
 	}
@@ -106,14 +123,24 @@ func osdDF(cluster *ecarray.Cluster, duration time.Duration) {
 		Run(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-6s %-7s %9s %12s %12s %8s %8s\n",
-		"osd", "host", "objects", "dev-written", "dev-read", "flashWA", "erases")
+	fmt.Printf("%-6s %-7s %9s %12s %12s %8s %8s %7s %9s %8s\n",
+		"osd", "host", "objects", "dev-written", "dev-read", "flashWA", "erases",
+		"health", "ewma-lat", "samples")
 	for _, osd := range cluster.OSDs() {
 		ds := osd.Store.Device().Stats()
-		fmt.Printf("osd%-3d %-7s %9d %11.1fM %11.1fM %8.2f %8d\n",
+		h := cluster.OSDHealth(osd.ID)
+		flags := ""
+		if h.Slow {
+			flags = " SLOW"
+		}
+		if h.Ejected {
+			flags += " EJECTED"
+		}
+		fmt.Printf("osd%-3d %-7s %9d %11.1fM %11.1fM %8.2f %8d %7.3f %8.0fµ %8d%s\n",
 			osd.ID, osd.Node.Name, osd.Store.Objects(),
 			float64(ds.HostWriteBytes)/(1<<20), float64(ds.HostReadBytes)/(1<<20),
-			ds.WriteAmplification(), ds.Erases)
+			ds.WriteAmplification(), ds.Erases,
+			h.Score, float64(h.EWMALatency)/1e3, h.Samples, flags)
 	}
 }
 
@@ -165,6 +192,59 @@ func runScenario(cluster *ecarray.Cluster, phase time.Duration, failN int, rateM
 			rec.Stats.PGsRepaired, float64(rec.Stats.BytesPulled)/(1<<20),
 			float64(rec.Stats.BytesRebuilt)/(1<<20), rec.Stats.DurationSimulated)
 	}
+	fmt.Println("events:")
+	for _, ev := range res.Events {
+		fmt.Printf("  %v\n", ev)
+	}
+}
+
+// runDegrade composes the gray-failure timeline: a foreground reader runs
+// healthy, then the victim OSD starts serving slow and/or flaky while
+// staying up, and (with -clear) has its health restored at the last phase
+// boundary. The per-phase gray counters show the tail-tolerant path
+// reacting: timeouts, hedges, and — if the fault persists — a breaker
+// eject.
+func runDegrade(cluster *ecarray.Cluster, phase time.Duration, victim int, latMult, errRate float64, clear bool) {
+	img, err := cluster.CreateImage("data", "ecctl", 2<<30)
+	if err != nil {
+		fatal(err)
+	}
+	img.Prefill()
+	deg := ecarray.OSDDegradation{Device: ecarray.DeviceDegradation{
+		LatencyMultiplier: latMult,
+		ErrorProb:         errRate,
+	}}
+	sc := ecarray.NewScenario(cluster).
+		AddJob(img, ecarray.Job{
+			Name: "fg", Op: ecarray.OpRead, Pattern: ecarray.PatternRandom,
+			BlockSize: 4 << 10, QueueDepth: 64, Duration: 3 * phase, Seed: 1,
+		}).
+		Phase("healthy", phase).
+		Phase("gray", phase).
+		Phase("recovered", phase).
+		At(phase, ecarray.DegradeOSD(victim, deg))
+	if clear {
+		sc.At(2*phase, ecarray.RestoreOSDHealth(victim))
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fg := res.Job("fg")
+	fmt.Printf("%-12s %10s %10s %10s %9s %7s %7s\n",
+		"phase", "MB/s", "lat ms", "p99 ms", "timeouts", "hedges", "ejects")
+	for i, pr := range fg.Phases {
+		g := res.PhaseGray[i]
+		fmt.Printf("%-12s %10.1f %10.2f %10.2f %9d %7d %7d\n",
+			res.Phases[i].Name, pr.MBps,
+			float64(pr.MeanLatency)/1e6, float64(pr.P99Latency)/1e6,
+			g.ShardTimeouts, g.HedgesIssued, g.Ejects)
+	}
+	h := cluster.OSDHealth(victim)
+	fmt.Printf("osd%d health: score=%.3f ewma-lat=%v samples=%d slow=%v ejected=%v degraded=%v\n",
+		victim, h.Score, h.EWMALatency, h.Samples, h.Slow, h.Ejected, h.Degraded)
+	fmt.Printf("gray totals: %+v\n", res.GrayMetrics)
 	fmt.Println("events:")
 	for _, ev := range res.Events {
 		fmt.Printf("  %v\n", ev)

@@ -62,6 +62,7 @@ import (
 	"ecarray/internal/core"
 	"ecarray/internal/rs"
 	"ecarray/internal/sim"
+	"ecarray/internal/ssd"
 	"ecarray/internal/trace"
 	"ecarray/internal/workload"
 )
@@ -137,10 +138,35 @@ type (
 	InjectResult = workload.InjectResult
 	// ScenarioEvent is a scheduled cluster action (FailOSD, RestoreOSD,
 	// StartRecovery, StartScrub, InjectCorruption, SetRecoveryRate,
-	// Callback).
+	// DegradeOSD, RestoreOSDHealth, Callback).
 	ScenarioEvent = workload.Event
 	// ClusterEvent is one logged cluster-state transition.
 	ClusterEvent = core.ClusterEvent
+)
+
+// Gray-failure types: slow/flaky-but-alive OSDs and the tail-tolerance
+// machinery that detects and routes around them.
+type (
+	// GrayConfig holds the tail-tolerance knobs — per-shard request
+	// deadlines with retry/backoff, hedged reads, and OSD health scoring
+	// with circuit-breaker eject. Assign to Config.Gray to enable; the
+	// zero value leaves the classic data path untouched.
+	GrayConfig = core.GrayConfig
+	// OSDDegradation describes an injected gray fault on one OSD: device
+	// degradation and/or a host network latency multiplier.
+	OSDDegradation = core.OSDDegradation
+	// DeviceDegradation is the SSD-level gray fault: a service-latency
+	// multiplier, an intermittent-error probability, and stuck I/O.
+	DeviceDegradation = ssd.Degradation
+	// GrayMetrics counts tail-tolerance outcomes (timeouts, retries,
+	// hedges, ejects) cluster-wide.
+	GrayMetrics = core.GrayMetrics
+	// OSDHealth is one OSD's tracked health: EWMA latency, failure score,
+	// and the slow/ejected/degraded flags.
+	OSDHealth = core.OSDHealth
+	// GrayOpResult is the outcome of one DegradeOSD or RestoreOSDHealth
+	// scenario event.
+	GrayOpResult = workload.GrayOpResult
 )
 
 // Benchmark-harness types.
@@ -258,6 +284,23 @@ func StartRecovery(pool string) ScenarioEvent { return workload.StartRecovery(po
 func SetRecoveryRate(pool string, bytesPerSec int64) ScenarioEvent {
 	return workload.SetRecoveryRate(pool, bytesPerSec)
 }
+
+// DefaultGrayConfig returns the tail-tolerance knobs the gray-failure
+// experiments use; assign to Config.Gray before NewCluster to enable
+// shard deadlines, hedged reads and the health breaker.
+func DefaultGrayConfig() GrayConfig { return core.DefaultGrayConfig() }
+
+// DegradeOSD returns a scenario event injecting a gray fault mid-run: the
+// OSD stays up and in the acting sets but serves degraded (slow device,
+// intermittent errors, stuck I/O, or a stretched host network).
+func DegradeOSD(id int, deg OSDDegradation) ScenarioEvent {
+	return workload.DegradeOSD(id, deg)
+}
+
+// RestoreOSDHealth returns a scenario event clearing an OSD's injected
+// degradation; if the health breaker had ejected it, the OSD re-enters
+// service through probation and backfill.
+func RestoreOSDHealth(id int) ScenarioEvent { return workload.RestoreOSDHealth(id) }
 
 // ScenarioCallback returns an escape-hatch scenario event running fn as a
 // simulation process; fn must keep the run deterministic.

@@ -111,6 +111,17 @@ type CellReport struct {
 	EngineEvents     uint64  `json:"engine_events"`
 	SimSeconds       float64 `json:"sim_seconds"`
 
+	// Gray tail-tolerance counters. Plain sweeps inject no faults, so all
+	// of these must stay zero; a nonzero value here means gray-path
+	// activity leaked into the default data path.
+	GrayShardTimeouts int64 `json:"gray_shard_timeouts"`
+	GrayShardFaults   int64 `json:"gray_shard_faults"`
+	GrayShardRetries  int64 `json:"gray_shard_retries"`
+	GrayHedgesIssued  int64 `json:"gray_hedges_issued"`
+	GrayHedgesWon     int64 `json:"gray_hedges_won"`
+	GrayEjects        int64 `json:"gray_ejects"`
+	GrayReadmits      int64 `json:"gray_readmits"`
+
 	// Checks are the structured paper-band verdicts applicable to this
 	// cell alone (cross-cell ratio checks live in BenchReport.Checks).
 	Checks []paperref.CheckResult `json:"checks,omitempty"`

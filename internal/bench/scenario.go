@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ecarray/internal/core"
+	"ecarray/internal/ssd"
 	"ecarray/internal/workload"
 )
 
@@ -17,7 +18,7 @@ import (
 //
 // ScenarioIDs lists the available experiments.
 func ScenarioIDs() []string {
-	return []string{"degraded-read", "recovery-interference", "mixed-tenants", "restore-backfill"}
+	return []string{"degraded-read", "recovery-interference", "mixed-tenants", "restore-backfill", "gray-failure"}
 }
 
 // RunScenario executes one scenario experiment and returns its table. As
@@ -44,6 +45,8 @@ func (s *Suite) runScenario(id string) (Table, error) {
 		return s.scenarioMixedTenants()
 	case "restore-backfill":
 		return s.scenarioRestoreBackfill()
+	case "gray-failure":
+		return s.scenarioGrayFailure()
 	}
 	return Table{}, fmt.Errorf("bench: unknown scenario %q", id)
 }
@@ -287,6 +290,97 @@ func (s *Suite) scenarioRestoreBackfill() (Table, error) {
 	}
 	t.Notes = append(t.Notes,
 		"only objects written during the outage move; untouched PGs flip clean at re-admission with no data motion")
+	return t, nil
+}
+
+// grayFailureRun runs the gray lifecycle once — healthy, then one OSD
+// serving at 10× device latency, then a health restore — with or without
+// the tail-tolerance knobs (per-shard deadlines, hedged reads, the health
+// breaker). The victim is the primary of the image's first object, so the
+// foreground job is guaranteed to touch it.
+func (s *Suite) grayFailureRun(tolerant bool) (*workload.ScenarioResult, error) {
+	started := time.Now()
+	sc := Scheme{"RS(6,3)", core.ProfileEC(6, 3)}
+	cfg := s.baseConfig(s.Opt.Seed + 59)
+	if tolerant {
+		cfg.Gray = core.DefaultGrayConfig()
+	}
+	s.applyCodecConfig(&cfg, sc.Profile)
+	c, img, err := s.clusterWith(cfg, sc.Profile)
+	if err != nil {
+		return nil, err
+	}
+	img.Prefill()
+	victim := c.Pool("data").ActingSet(img.ObjectName(0))[0]
+	ph := s.scenarioPhase()
+	res, err := workload.NewScenario(c).
+		AddJob(img, workload.Job{
+			Name: "fg", Op: workload.Read, Pattern: workload.Random,
+			BlockSize: 4 << 10, QueueDepth: s.Opt.QueueDepth,
+			Duration: 3 * ph, Seed: s.Opt.Seed,
+		}).
+		Phase("healthy", ph).
+		Phase("gray", ph).
+		Phase("recovered", ph).
+		At(ph, workload.DegradeOSD(victim, core.OSDDegradation{
+			Device: ssd.Degradation{LatencyMultiplier: 10},
+		})).
+		At(2*ph, workload.RestoreOSDHealth(victim)).
+		Run()
+	if err != nil {
+		return nil, err
+	}
+	s.drainAndNote(c.Engine(), started)
+	return res, nil
+}
+
+// scenarioGrayFailure contrasts the same gray fault with and without tail
+// tolerance: a fail-stop detector never fires for a slow-but-alive OSD, so
+// the unprotected run eats the full 10× latency for the whole gray phase,
+// while the tolerant run bounds read tails with deadlines and hedges and
+// the health breaker ejects the victim outright.
+func (s *Suite) scenarioGrayFailure() (Table, error) {
+	tol, err := s.grayFailureRun(true)
+	if err != nil {
+		return Table{}, err
+	}
+	raw, err := s.grayFailureRun(false)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "scenario-gray-failure",
+		Title: "Gray failure: one OSD at 10x device latency, 4KB random reads, RS(6,3)",
+		Columns: []string{"mode", "phase", "MB/s", "lat ms", "p99 ms",
+			"timeouts", "hedges", "ejects"},
+	}
+	for _, mode := range []struct {
+		name string
+		res  *workload.ScenarioResult
+	}{{"tail-tolerant", tol}, {"unprotected", raw}} {
+		fg := mode.res.Job("fg")
+		for i, pr := range fg.Phases {
+			g := mode.res.PhaseGray[i]
+			t.Rows = append(t.Rows, []string{
+				mode.name, mode.res.Phases[i].Name,
+				f1(pr.MBps), f2(ms(pr.MeanLatency)), f2(ms(pr.P99Latency)),
+				fmt.Sprint(g.ShardTimeouts), fmt.Sprint(g.HedgesIssued), fmt.Sprint(g.Ejects),
+			})
+		}
+	}
+	p99Ratio := func(res *workload.ScenarioResult) float64 {
+		fg := res.Job("fg")
+		if h := ms(fg.Phases[0].P99Latency); h > 0 {
+			return ms(fg.Phases[1].P99Latency) / h
+		}
+		return 0
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("gray-phase read p99 vs healthy: %.1fx tail-tolerant, %.1fx unprotected",
+			p99Ratio(tol), p99Ratio(raw)),
+		fmt.Sprintf("tolerant run: %d shard timeouts, %d hedges (%d won), %d eject(s), %d readmit(s); the unprotected run never detects the slow OSD",
+			tol.GrayMetrics.ShardTimeouts, tol.GrayMetrics.HedgesIssued,
+			tol.GrayMetrics.HedgesWon, tol.GrayMetrics.Ejects, tol.GrayMetrics.Readmits))
 	return t, nil
 }
 

@@ -81,6 +81,60 @@ func TestRecoveryInterferenceThrottle(t *testing.T) {
 	}
 }
 
+// TestGrayFailureScenarioBoundsTail: the gray-failure acceptance gate.
+// With one OSD at 10x device latency, the tail-tolerant run must keep the
+// gray-phase read p99 within 2x of its healthy phase, engage hedges, and
+// eject the victim; the unprotected run must show a worse p99 inflation
+// and zero gray-path activity (the counters only move when the knobs are
+// on).
+func TestGrayFailureScenarioBoundsTail(t *testing.T) {
+	tb, err := tinySuite(t).RunScenario("gray-failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 modes x 3 phases", len(tb.Rows))
+	}
+	col := func(row int, name string) float64 {
+		for i, c := range tb.Columns {
+			if c == name {
+				v, err := strconv.ParseFloat(tb.Rows[row][i], 64)
+				if err != nil {
+					t.Fatalf("row %d col %s: %v", row, name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %s", name)
+		return 0
+	}
+	// Rows 0-2 are tail-tolerant healthy/gray/recovered, 3-5 unprotected.
+	tolRatio := col(1, "p99 ms") / col(0, "p99 ms")
+	rawRatio := col(4, "p99 ms") / col(3, "p99 ms")
+	if tolRatio > 2 {
+		t.Fatalf("tail-tolerant gray p99 = %.2fx healthy, want <= 2x", tolRatio)
+	}
+	if rawRatio <= tolRatio {
+		t.Fatalf("unprotected p99 inflation %.2fx not above tail-tolerant %.2fx", rawRatio, tolRatio)
+	}
+	if col(1, "hedges") == 0 {
+		t.Fatal("tail-tolerant gray phase issued no hedges")
+	}
+	if col(1, "ejects") == 0 {
+		t.Fatal("breaker never ejected the 10x-slow OSD")
+	}
+	for row := 3; row < 6; row++ {
+		for _, c := range []string{"timeouts", "hedges", "ejects"} {
+			if col(row, c) != 0 {
+				t.Fatalf("unprotected run row %d has nonzero %s", row, c)
+			}
+		}
+	}
+	if col(0, "timeouts")+col(0, "hedges")+col(0, "ejects") != 0 {
+		t.Fatal("tail-tolerant healthy phase leaked gray activity")
+	}
+}
+
 // TestScenarioTablesDeterministic: scenario tables are rendered from the
 // deterministic runner, so two fresh suites must agree cell for cell.
 func TestScenarioTablesDeterministic(t *testing.T) {

@@ -348,6 +348,7 @@ func (s *Suite) runSweepCell(k CellKey) (CellReport, error) {
 	s.drainAndNote(c.Engine(), started)
 
 	cell := Cell{Result: res}
+	gray := c.GrayMetrics()
 	cr := CellReport{
 		ID:         id,
 		Scheme:     k.Scheme,
@@ -376,6 +377,14 @@ func (s *Suite) runSweepCell(k CellKey) (CellReport, error) {
 		Errors:           res.Errors,
 		EngineEvents:     s.eng.events - engBefore.events,
 		SimSeconds:       (s.eng.virtual - engBefore.virtual).Seconds(),
+
+		GrayShardTimeouts: gray.ShardTimeouts,
+		GrayShardFaults:   gray.ShardFaults,
+		GrayShardRetries:  gray.ShardRetries,
+		GrayHedgesIssued:  gray.HedgesIssued,
+		GrayHedgesWon:     gray.HedgesWon,
+		GrayEjects:        gray.Ejects,
+		GrayReadmits:      gray.Readmits,
 
 		Checks: cellChecks(k, cell),
 	}

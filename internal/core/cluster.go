@@ -62,6 +62,9 @@ type Cluster struct {
 	imageQueue  *sim.Resource // client librbd dispatch serialization
 	metricsFrom sim.Time
 	eventHook   func(ClusterEvent)
+
+	gray  []osdGray // per-OSD gray-failure state (gray.go)
+	grayM GrayMetrics
 }
 
 // New builds a cluster per the config and starts its background daemons
@@ -121,6 +124,7 @@ func New(e *sim.Engine, cfg Config) (*Cluster, error) {
 			up:      true,
 		})
 	}
+	c.gray = make([]osdGray, len(c.osds))
 	c.scheduleHeartbeat()
 	return c, nil
 }

@@ -66,6 +66,11 @@ type Config struct {
 	// Cost is the software cost model.
 	Cost CostModel
 
+	// Gray holds the gray-failure tolerance knobs (shard timeouts, hedged
+	// reads, health scoring, circuit breaker). The zero value disables the
+	// whole subsystem; see DefaultGrayConfig for tuned defaults.
+	Gray GrayConfig
+
 	// CarryData runs real bytes end to end (client → striping → encoding →
 	// store → flash and back), with parity actually computed and verified.
 	// Keep clusters small in this mode.
@@ -156,7 +161,7 @@ func (c *Config) validate() error {
 	case c.Cost.HeartbeatInterval <= 0:
 		return fmt.Errorf("core: heartbeat interval must be positive")
 	}
-	return nil
+	return c.Gray.validate()
 }
 
 // Profile selects a pool's fault-tolerance mechanism: replication or

@@ -144,14 +144,28 @@ func (pl *Pool) readEC(p *sim.Proc, obj string, off, length int64) ([]byte, erro
 	if len(missing) > 0 {
 		ms0, ms1 := missing[0], missing[len(missing)-1]+1
 		perShard := (ms1 - ms0) * g.unit
-		srcs, missingData, err := pl.dataShardSources(pg)
-		if err != nil {
-			pg.lock.Release(1)
-			prim.Workers.Release(1)
-			return nil, err
+		var srcs, missingData []int
+		var results [][]byte
+		if pl.c.cfg.Gray.tailEnabled() {
+			var err error
+			srcs, results, err = pl.tailFetch(p, pg, prim, obj, pl.tailCandidates(pg), g.k, ms0*g.unit, perShard)
+			if err != nil {
+				pg.lock.Release(1)
+				prim.Workers.Release(1)
+				return nil, err
+			}
+			missingData = missingDataOf(g.k, srcs)
+		} else {
+			var err error
+			srcs, missingData, err = pl.dataShardSources(pg)
+			if err != nil {
+				pg.lock.Release(1)
+				prim.Workers.Release(1)
+				return nil, err
+			}
+			results = make([][]byte, len(srcs))
+			pl.fetchShards(p, pg, prim, obj, srcs, ms0*g.unit, perShard, results)
 		}
-		results := make([][]byte, len(srcs))
-		pl.fetchShards(p, pg, prim, obj, srcs, ms0*g.unit, perShard, results)
 		// RS-concatenation: compose chunks into stripes.
 		prim.Node.CPU.Exec(p, perKB(int64(g.k)*perShard, cm.ConcatPerKB), 0)
 		fetched, err := pl.materializeStripes(p, prim, srcs, missingData, results, ms0, ms1)
@@ -285,14 +299,26 @@ func (pl *Pool) writeEC(p *sim.Proc, obj string, off int64, data []byte, length 
 	// reuse across writes, so this bypasses the read-side stripe cache.)
 	var oldStripes map[int64][][]byte
 	if !fullStripes {
-		srcs, missingData, err := pl.dataShardSources(pg)
+		var srcs, missingData []int
+		var results [][]byte
+		var err error
+		if pl.c.cfg.Gray.tailEnabled() {
+			srcs, results, err = pl.tailFetch(p, pg, prim, obj, pl.tailCandidates(pg), g.k, s0*g.unit, perShard)
+			if err == nil {
+				missingData = missingDataOf(g.k, srcs)
+			}
+		} else {
+			srcs, missingData, err = pl.dataShardSources(pg)
+			if err == nil {
+				results = make([][]byte, len(srcs))
+				pl.fetchShards(p, pg, prim, obj, srcs, s0*g.unit, perShard, results)
+			}
+		}
 		if err != nil {
 			pg.lock.Release(1)
 			prim.Workers.Release(1)
 			return err
 		}
-		results := make([][]byte, len(srcs))
-		pl.fetchShards(p, pg, prim, obj, srcs, s0*g.unit, perShard, results)
 		oldStripes, err = pl.materializeStripes(p, prim, srcs, missingData, results, s0, s1)
 		if err != nil {
 			pg.lock.Release(1)

@@ -15,7 +15,9 @@ type ClusterEvent struct {
 	Time time.Duration
 	// Kind classifies the event: "osd-out", "osd-in", "recovery-start",
 	// "recovery-done", "recovery-rate", "backfill-start", "backfill-done",
-	// "scrub-start", "scrub-done", "latent-error", "pg-map-error".
+	// "scrub-start", "scrub-done", "latent-error", "pg-map-error",
+	// "osd-degrade", "osd-restore", "osd-slow", "osd-eject",
+	// "osd-probation".
 	Kind string
 	// Detail is a human-readable payload ("osd3", "pool data: 12 PGs ...").
 	Detail string

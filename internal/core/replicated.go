@@ -79,8 +79,27 @@ func (pl *Pool) readReplicated(p *sim.Proc, obj string, off, length int64) ([]by
 	prim.Node.CPU.Exec(p, cm.DispatchUser+cm.PGLockBaseline, 0)
 	pg.lock.Release(1)
 
-	prim.Node.CPU.Exec(p, 0, cm.StoreSubmitKern)
-	data := prim.Store.Read(p, obj, off, length)
+	var data []byte
+	if pl.c.cfg.Gray.tailEnabled() {
+		// Tail-tolerant read: the primary replica is preferred, but a request
+		// past the deadline (or hedged) fails over to a secondary, which holds
+		// an identical full copy of the object.
+		var cands []int
+		for pos := range pg.shards {
+			if pg.live(pos) {
+				cands = append(cands, pos)
+			}
+		}
+		_, results, err := pl.tailFetch(p, pg, prim, obj, cands, 1, off, length)
+		if err != nil {
+			prim.Workers.Release(1)
+			return nil, err
+		}
+		data = results[0]
+	} else {
+		prim.Node.CPU.Exec(p, 0, cm.StoreSubmitKern)
+		data = prim.Store.Read(p, obj, off, length)
+	}
 	prim.Workers.Release(1)
 
 	pl.c.sendPublicToClient(p, prim.Node, length)

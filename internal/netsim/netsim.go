@@ -50,6 +50,10 @@ func TenGbE(name string) Config {
 type nic struct {
 	tx *sim.Resource
 	rx *sim.Resource
+	// latMul stretches propagation latency for messages touching this
+	// node (gray failure: a sick NIC, cable or switch port). 0 and 1 mean
+	// healthy; the link rate is unchanged.
+	latMul float64
 }
 
 // Network is a full-duplex star network (every node connected through a
@@ -123,7 +127,15 @@ func (n *Network) Send(p *sim.Proc, from, to string, payload int64) {
 	p.Sleep(ser)
 	src.tx.Release(1)
 
-	p.Sleep(n.cfg.Latency)
+	lat := n.cfg.Latency
+	m := src.latMul
+	if dst.latMul > m {
+		m = dst.latMul
+	}
+	if m > 0 && m != 1 {
+		lat = time.Duration(float64(lat) * m)
+	}
+	p.Sleep(lat)
 
 	dst.rx.Acquire(p, 1)
 	p.Sleep(ser)
@@ -134,6 +146,32 @@ func (n *Network) Send(p *sim.Proc, from, to string, payload int64) {
 	if n.series != nil {
 		n.series.Add(n.e.Now().Duration(), float64(wire))
 	}
+}
+
+// SetNodeLatencyMultiplier stretches (or, with 0 or 1, restores) the
+// propagation latency of every wire message to or from the node — the
+// network face of a gray-failed host. A message between two degraded nodes
+// pays the larger multiplier once. Serialization time is unchanged: the
+// link still moves bytes at full rate, it just answers late.
+func (n *Network) SetNodeLatencyMultiplier(name string, m float64) {
+	nd, ok := n.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim %s: unknown node %q", n.cfg.Name, name))
+	}
+	if m < 0 {
+		panic(fmt.Sprintf("netsim %s: negative latency multiplier %g", n.cfg.Name, m))
+	}
+	nd.latMul = m
+}
+
+// NodeLatencyMultiplier returns the node's installed multiplier (0 or 1
+// when healthy).
+func (n *Network) NodeLatencyMultiplier(name string) float64 {
+	nd, ok := n.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim %s: unknown node %q", n.cfg.Name, name))
+	}
+	return nd.latMul
 }
 
 // Bytes returns total bytes delivered over the wire (payload + overhead),

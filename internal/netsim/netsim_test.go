@@ -208,3 +208,47 @@ func TestThroughputCeiling(t *testing.T) {
 		t.Fatalf("delivered %.0f B/s exceeds 1 GiB/s link", rate)
 	}
 }
+
+// TestNodeLatencyMultiplier: a degraded node stretches propagation latency
+// for messages touching it (larger endpoint multiplier wins, paid once);
+// serialization is unchanged, other paths are unaffected, and 0/1 restore
+// healthy timing.
+func TestNodeLatencyMultiplier(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	ser := time.Duration((1 << 20) * int64(time.Second) / (1 << 30))
+	healthy := sim.Time(2*ser + 10*time.Microsecond)
+	elapsed := func(from, to string) sim.Time {
+		var d sim.Time
+		e.Go("send", func(p *sim.Proc) {
+			t0 := p.Now()
+			n.Send(p, from, to, 1<<20)
+			d = p.Now() - t0
+		})
+		e.Run()
+		return d
+	}
+	if got := elapsed("a", "b"); got != healthy {
+		t.Fatalf("healthy delivery %v, want %v", got, healthy)
+	}
+	n.SetNodeLatencyMultiplier("b", 5)
+	want := sim.Time(2*ser + 50*time.Microsecond)
+	if got := elapsed("a", "b"); got != want {
+		t.Fatalf("to degraded node: %v, want %v", got, want)
+	}
+	if got := elapsed("b", "c"); got != want {
+		t.Fatalf("from degraded node: %v, want %v", got, want)
+	}
+	if got := elapsed("a", "c"); got != healthy {
+		t.Fatalf("unrelated path slowed: %v, want %v", got, healthy)
+	}
+	n.SetNodeLatencyMultiplier("a", 3) // both degraded: larger wins, paid once
+	if got := elapsed("a", "b"); got != want {
+		t.Fatalf("both degraded: %v, want %v", got, want)
+	}
+	n.SetNodeLatencyMultiplier("a", 0)
+	n.SetNodeLatencyMultiplier("b", 1)
+	if got := elapsed("a", "b"); got != healthy {
+		t.Fatalf("restored delivery %v, want %v", got, healthy)
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "time"
+
 // Resource is a counted resource with a FIFO wait queue: a semaphore in
 // virtual time. A Resource with capacity 1 is a mutex (used for PG locks); a
 // Resource with capacity N models N servers (CPU cores, SSD queue slots).
@@ -258,6 +260,39 @@ func (w *Waker) Wait(p *Proc) {
 		}
 	}()
 	p.park()
+}
+
+// WaitTimeout parks the process until the next Wake or until d of virtual
+// time passes, whichever comes first, reporting true for a Wake and false
+// for a timeout. Pending Wakes are consumed immediately, like Wait. The
+// timer event carries the current park generation, so whichever resume
+// loses the race is dropped as stale — no spurious wakeup leaks into a
+// later wait. On timeout the process is detached, so a subsequent Wake is
+// counted as pending for the next Wait instead of waking anyone.
+func (w *Waker) WaitTimeout(p *Proc, d time.Duration) bool {
+	if w.pending > 0 {
+		w.pending--
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	e := w.e
+	e.seq++
+	e.events.push(event{t: e.now + Time(d), seq: e.seq, proc: p, gen: p.parkGen})
+	w.p = p
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.p = nil // killed while waiting
+			panic(rec)
+		}
+	}()
+	p.park()
+	if w.p == p {
+		w.p = nil // timer won: detach before anyone Wakes us
+		return false
+	}
+	return true
 }
 
 // Wake releases the waiting process (or counts the wake if none waits yet).

@@ -523,3 +523,62 @@ func BenchmarkEventDispatch(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// TestWakerWaitTimeout covers both outcomes of the timed wait: a Wake
+// before the deadline returns true at the wake time, a deadline with no
+// Wake returns false at the deadline, and after a timeout a late Wake is
+// banked as pending for the next wait rather than lost or misdelivered.
+func TestWakerWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	w := NewWaker(e)
+	var log []string
+	e.Go("waiter", func(p *Proc) {
+		if !w.WaitTimeout(p, 10*time.Millisecond) {
+			t.Errorf("wake at 3ms reported as timeout")
+		}
+		log = append(log, "wake@"+p.Now().String())
+		if w.WaitTimeout(p, 5*time.Millisecond) {
+			t.Errorf("no Wake before deadline, got true")
+		}
+		log = append(log, "timeout@"+p.Now().String())
+		// The Wake at 20ms lands after the timeout above: it must bank as
+		// pending and satisfy this wait immediately at 25ms.
+		p.Sleep(22 * time.Millisecond)
+		if !w.WaitTimeout(p, time.Millisecond) {
+			t.Errorf("pending Wake not consumed")
+		}
+		log = append(log, "pending@"+p.Now().String())
+	})
+	e.Schedule(3*time.Millisecond, w.Wake)
+	e.Schedule(20*time.Millisecond, w.Wake)
+	e.Run()
+	want := []string{"wake@3ms", "timeout@8ms", "pending@30ms"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q (full: %v)", i, log[i], want[i], log)
+		}
+	}
+}
+
+// TestWakerWaitTimeoutStaleTimer: when a Wake wins the race, the loser
+// timer event must be dropped as stale and not disturb a later park.
+func TestWakerWaitTimeoutStaleTimer(t *testing.T) {
+	e := NewEngine()
+	w := NewWaker(e)
+	e.Go("waiter", func(p *Proc) {
+		if !w.WaitTimeout(p, 50*time.Millisecond) {
+			t.Errorf("wake at 1ms reported as timeout")
+		}
+		// The 50ms timer is still queued; sleeping across it must not be
+		// cut short by the stale event.
+		p.Sleep(100 * time.Millisecond)
+		if p.Now() != Time(101*time.Millisecond) {
+			t.Errorf("stale timer disturbed a later sleep: now=%v", p.Now())
+		}
+	})
+	e.Schedule(time.Millisecond, w.Wake)
+	e.Run()
+}

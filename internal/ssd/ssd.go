@@ -16,6 +16,7 @@ package ssd
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"ecarray/internal/sim"
@@ -128,6 +129,48 @@ type Stats struct {
 	GCMigratedPages int64
 	Erases          int64
 	TrimmedBytes    int64
+	// Gray-failure injection outcomes (zero on a healthy device).
+	InjectedFaults int64
+	StuckIOs       int64
+}
+
+// Degradation models a gray-failed device: degraded but alive. Unlike a
+// fail-stop outage the device keeps accepting and completing commands — it
+// just serves them slowly, hangs on some, or returns intermittent errors.
+// The zero value is a healthy device.
+type Degradation struct {
+	// LatencyMultiplier scales every request's service time. Values <= 0
+	// and 1 mean healthy speed.
+	LatencyMultiplier float64
+	// ErrorProb is the per-request probability of an injected intermittent
+	// I/O error: the request completes (time passes, counters move) but is
+	// reported faulted through TakeFault.
+	ErrorProb float64
+	// StuckProb is the per-request probability of a stuck I/O: the request
+	// parks for StuckDelay on top of its service time before completing
+	// (or erroring, if the error draw also hits).
+	StuckProb float64
+	// StuckDelay is the hang added to a stuck request.
+	StuckDelay time.Duration
+}
+
+// Active reports whether any knob deviates from healthy behaviour.
+func (g Degradation) Active() bool {
+	return (g.LatencyMultiplier > 0 && g.LatencyMultiplier != 1) ||
+		g.ErrorProb > 0 || g.StuckProb > 0
+}
+
+func (g Degradation) validate() error {
+	if g.ErrorProb < 0 || g.ErrorProb > 1 || g.StuckProb < 0 || g.StuckProb > 1 {
+		return fmt.Errorf("ssd: degradation probabilities must be in [0,1]: %+v", g)
+	}
+	if g.LatencyMultiplier < 0 {
+		return fmt.Errorf("ssd: negative latency multiplier %g", g.LatencyMultiplier)
+	}
+	if g.StuckProb > 0 && g.StuckDelay <= 0 {
+		return fmt.Errorf("ssd: StuckProb %g needs a positive StuckDelay", g.StuckProb)
+	}
+	return nil
 }
 
 // WriteAmplification returns flash writes / host writes (0 if nothing
@@ -155,9 +198,15 @@ type Device struct {
 	lastReadEnd  int64 // sequential-read detector
 	lastWriteEnd int64 // sequential-write detector (write-buffer merge)
 
-	st        Stats
-	busy      *stats.Counter // busy time integral, ns
-	lastStamp sim.Time
+	st   Stats
+	busy *stats.Counter // busy time integral, ns
+
+	// Gray-failure injection (SetDegradation). rng draws happen at request
+	// entry, in simulated event order, so injection is deterministic; a
+	// healthy device draws nothing.
+	deg       Degradation
+	rng       *rand.Rand
+	faultPend int64 // injected faults not yet taken (TakeFault)
 
 	tracer func(op byte, off, length int64)
 }
@@ -226,8 +275,47 @@ func (d *Device) Stats() Stats { return d.st }
 // and trim ('T'), for blktrace-style capture. Pass nil to remove it.
 func (d *Device) SetTracer(fn func(op byte, off, length int64)) { d.tracer = fn }
 
-// ResetStats zeroes the counters (FTL state is preserved).
-func (d *Device) ResetStats() { d.st = Stats{} }
+// ResetStats zeroes the counters and the busy-time accumulator together, so
+// per-phase busy fractions computed from a mid-scenario reset line up with
+// the per-phase byte/op counters (FTL state is preserved).
+func (d *Device) ResetStats() {
+	d.st = Stats{}
+	d.busy.Reset()
+}
+
+// SetDegradation installs (or, with a zero Degradation, clears) gray-failure
+// injection. rng drives the error/stuck draws and must be non-nil whenever
+// ErrorProb or StuckProb is positive; seed it per device so injection is
+// deterministic and independent across OSDs. Invalid knobs are rejected.
+func (d *Device) SetDegradation(deg Degradation, rng *rand.Rand) error {
+	if err := deg.validate(); err != nil {
+		return err
+	}
+	if (deg.ErrorProb > 0 || deg.StuckProb > 0) && rng == nil {
+		return fmt.Errorf("ssd %s: probabilistic degradation needs an rng", d.name)
+	}
+	d.deg, d.rng = deg, rng
+	return nil
+}
+
+// ClearDegradation restores healthy behaviour and drops pending faults.
+func (d *Device) ClearDegradation() {
+	d.deg, d.rng, d.faultPend = Degradation{}, nil, 0
+}
+
+// Degradation returns the installed knobs (zero value when healthy).
+func (d *Device) Degradation() Degradation { return d.deg }
+
+// TakeFault reports whether any injected intermittent error completed on
+// this device since the last call, and clears the record. Callers treat it
+// as "this request faulted"; when requests to the same device overlap in
+// virtual time, attribution may swap between them — immaterial for per-OSD
+// health accounting, which is the intended consumer.
+func (d *Device) TakeFault() bool {
+	f := d.faultPend > 0
+	d.faultPend = 0
+	return f
+}
 
 func (d *Device) pageOf(off int64) int64 { return off / int64(d.cfg.PageSize) }
 
@@ -524,8 +612,25 @@ func xferTime(n, bw int64) time.Duration {
 	return time.Duration(n * int64(time.Second) / bw)
 }
 
-// serve queues the request and holds a device slot for the service time.
+// serve queues the request and holds a device slot for the service time,
+// applying any installed degradation: the latency multiplier and stuck-I/O
+// hang stretch the service time, the error draw records an injected fault
+// for TakeFault. Draws happen at request entry so they follow simulated
+// event order deterministically.
 func (d *Device) serve(p *sim.Proc, svc time.Duration) {
+	if d.deg.Active() {
+		if m := d.deg.LatencyMultiplier; m > 0 && m != 1 {
+			svc = time.Duration(float64(svc) * m)
+		}
+		if d.deg.StuckProb > 0 && d.rng.Float64() < d.deg.StuckProb {
+			svc += d.deg.StuckDelay
+			d.st.StuckIOs++
+		}
+		if d.deg.ErrorProb > 0 && d.rng.Float64() < d.deg.ErrorProb {
+			d.faultPend++
+			d.st.InjectedFaults++
+		}
+	}
 	d.queue.Acquire(p, 1)
 	d.busy.Add(int64(svc))
 	p.Sleep(svc)

@@ -386,3 +386,102 @@ func BenchmarkGCHeavyWorkload(b *testing.B) {
 }
 
 var _ = time.Second // keep time imported for config literals in failures
+
+// TestResetStatsResetsBusyTime: the busy-time accumulator and the Stats
+// counters form one measurement window — resetting one without the other
+// skews per-phase busy fractions.
+func TestResetStatsResetsBusyTime(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, "d0", DefaultConfig(16*testBlockBytes))
+	run(t, e, func(p *sim.Proc) { d.Write(p, 0, nil, 4096) })
+	if d.BusySeconds() <= 0 {
+		t.Fatal("busy time must accumulate before reset")
+	}
+	d.ResetStats()
+	if d.BusySeconds() != 0 {
+		t.Fatalf("ResetStats left busy time = %v", d.BusySeconds())
+	}
+	if d.Stats() != (Stats{}) {
+		t.Fatalf("ResetStats left counters = %+v", d.Stats())
+	}
+}
+
+// TestDegradationLatencyMultiplier: a degraded device serves the same
+// request slower by exactly the multiplier; clearing restores it.
+func TestDegradationLatencyMultiplier(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	var healthy, slow, restored sim.Time
+	run(t, e, func(p *sim.Proc) {
+		t0 := p.Now()
+		d.Read(p, 0, 4096)
+		healthy = p.Now() - t0
+		if err := d.SetDegradation(Degradation{LatencyMultiplier: 10}, nil); err != nil {
+			t.Errorf("SetDegradation: %v", err)
+		}
+		t0 = p.Now()
+		d.Read(p, 8192, 4096) // breaks the stream: same base latency as the first
+		slow = p.Now() - t0
+		d.ClearDegradation()
+		t0 = p.Now()
+		d.Read(p, 0, 4096) // breaks the stream again
+		restored = p.Now() - t0
+	})
+	if slow != healthy*10 {
+		t.Fatalf("degraded latency = %v, want 10 × %v", slow, healthy)
+	}
+	if restored != healthy {
+		t.Fatalf("restored latency = %v, want %v", restored, healthy)
+	}
+}
+
+// TestDegradationErrorAndStuck: probability-1 knobs make every request
+// stuck and faulted; TakeFault reports-and-clears; the stuck delay lands
+// in the service time.
+func TestDegradationErrorAndStuck(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig(16 * testBlockBytes)
+	d, _ := New(e, "d0", cfg)
+	deg := Degradation{ErrorProb: 1, StuckProb: 1, StuckDelay: 50 * time.Millisecond}
+	if err := d.SetDegradation(deg, nil); err == nil {
+		t.Fatal("probabilistic degradation without an rng must be rejected")
+	}
+	if err := d.SetDegradation(deg, sim.NewRand(7)); err != nil {
+		t.Fatal(err)
+	}
+	var took sim.Time
+	run(t, e, func(p *sim.Proc) {
+		t0 := p.Now()
+		d.Read(p, 0, 4096)
+		took = p.Now() - t0
+	})
+	if took < sim.Time(50*time.Millisecond) {
+		t.Fatalf("stuck request served in %v, want >= 50ms hang", took)
+	}
+	if st := d.Stats(); st.InjectedFaults != 1 || st.StuckIOs != 1 {
+		t.Fatalf("injection counters = %+v", st)
+	}
+	if !d.TakeFault() {
+		t.Fatal("TakeFault must report the injected fault")
+	}
+	if d.TakeFault() {
+		t.Fatal("TakeFault must clear the record")
+	}
+}
+
+// TestDegradationValidation rejects out-of-range knobs.
+func TestDegradationValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, "d0", DefaultConfig(16*testBlockBytes))
+	for _, deg := range []Degradation{
+		{ErrorProb: 1.5},
+		{StuckProb: -0.1},
+		{LatencyMultiplier: -2},
+		{StuckProb: 0.5}, // no StuckDelay
+	} {
+		if err := d.SetDegradation(deg, sim.NewRand(1)); err == nil {
+			t.Errorf("degradation %+v must be rejected", deg)
+		}
+	}
+}

@@ -187,6 +187,16 @@ type InjectResult struct {
 	Err   error
 }
 
+// GrayOpResult is the outcome of one DegradeOSD or RestoreOSDHealth event.
+// Err is non-nil when the cluster rejected the operation at firing time
+// (e.g. the circuit breaker ejected the OSD between scheduling and firing).
+type GrayOpResult struct {
+	Op  string // "degrade-osd" or "restore-osd-health"
+	OSD int
+	At  time.Duration // offset from scenario start
+	Err error
+}
+
 // JobResult is one job's outcome: the whole-run Result plus per-phase
 // slices. Phase Results carry the job's client-side numbers for that phase
 // window; their Metrics field holds the cluster-wide (not per-job) counter
@@ -218,8 +228,17 @@ type ScenarioResult struct {
 	Scrubs []ScrubResult
 	// Injects lists InjectCorruption outcomes in firing order.
 	Injects []InjectResult
+	// GrayOps lists DegradeOSD/RestoreOSDHealth outcomes in firing order.
+	GrayOps []GrayOpResult
+	// GrayMetrics is the cluster's tail-tolerance counter delta (timeouts,
+	// retries, hedges, ejects) over the whole scenario; PhaseGray[i] is the
+	// delta over Phases[i]. All zero unless gray faults were injected or
+	// the tail-tolerant fetch path engaged.
+	GrayMetrics core.GrayMetrics
+	PhaseGray   []core.GrayMetrics
 	// Events is the cluster event log (OSD failures/restores, recovery
-	// lifecycle, throttle changes) in firing order.
+	// lifecycle, throttle changes, gray-failure transitions) in firing
+	// order.
 	Events []core.ClusterEvent
 	// Seconds is the scenario length in simulated seconds.
 	Seconds float64
@@ -383,6 +402,67 @@ func (ev injectCorruption) run(p *sim.Proc, r *scenarioRun) {
 	})
 }
 
+type degradeOSD struct {
+	id  int
+	deg core.OSDDegradation
+}
+
+// DegradeOSD returns an event that installs gray-fault injection on OSD id:
+// the device serves slowly/stuck/faulted per deg.Device and the host's
+// private-network latency stretches per deg.NetLatencyMultiplier, while the
+// OSD stays up and in placement — the degraded-but-alive failure mode
+// between healthy and fail-stop. Scenario validation rejects degrading an
+// OSD that is out at that point of the timeline (fail-stop and gray failure
+// are distinct states). The outcome lands in ScenarioResult.GrayOps.
+func DegradeOSD(id int, deg core.OSDDegradation) Event { return degradeOSD{id: id, deg: deg} }
+
+func (ev degradeOSD) String() string { return fmt.Sprintf("degrade-osd(%d)", ev.id) }
+func (ev degradeOSD) check(c *core.Cluster) error {
+	if ev.id < 0 || ev.id >= len(c.OSDs()) {
+		return fmt.Errorf("workload: DegradeOSD(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+	}
+	if !ev.deg.Active() {
+		return fmt.Errorf("workload: DegradeOSD(%d): degradation has no active knobs", ev.id)
+	}
+	if ev.deg.NetLatencyMultiplier < 0 {
+		return fmt.Errorf("workload: DegradeOSD(%d): negative net latency multiplier", ev.id)
+	}
+	return nil
+}
+func (ev degradeOSD) run(p *sim.Proc, r *scenarioRun) {
+	r.grayOps = append(r.grayOps, GrayOpResult{
+		Op:  "degrade-osd",
+		OSD: ev.id,
+		At:  r.rel(p.Now()),
+		Err: r.c.DegradeOSD(ev.id, ev.deg),
+	})
+}
+
+type restoreOSDHealth struct{ id int }
+
+// RestoreOSDHealth returns an event that clears OSD id's gray-fault
+// injection. If the circuit breaker had auto-ejected the OSD it re-admits
+// through the probation window (GrayConfig.Probation) and a backfill pass.
+// Scenario validation rejects restoring the health of an OSD no earlier
+// event degraded. The outcome lands in ScenarioResult.GrayOps.
+func RestoreOSDHealth(id int) Event { return restoreOSDHealth{id: id} }
+
+func (ev restoreOSDHealth) String() string { return fmt.Sprintf("restore-osd-health(%d)", ev.id) }
+func (ev restoreOSDHealth) check(c *core.Cluster) error {
+	if ev.id < 0 || ev.id >= len(c.OSDs()) {
+		return fmt.Errorf("workload: RestoreOSDHealth(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+	}
+	return nil
+}
+func (ev restoreOSDHealth) run(p *sim.Proc, r *scenarioRun) {
+	r.grayOps = append(r.grayOps, GrayOpResult{
+		Op:  "restore-osd-health",
+		OSD: ev.id,
+		At:  r.rel(p.Now()),
+		Err: r.c.RestoreOSDHealth(ev.id),
+	})
+}
+
 type startRecovery struct{ pool string }
 
 // StartRecovery returns an event that launches a background repair pass on
@@ -486,7 +566,8 @@ type scenarioRun struct {
 	end   sim.Time // absolute scenario end
 
 	phases     []PhaseInfo
-	snaps      []core.Metrics // len(phases)+1 boundary snapshots
+	snaps      []core.Metrics      // len(phases)+1 boundary snapshots
+	graySnaps  []core.GrayMetrics  // same boundaries, tail-tolerance counters
 	jobs       []*jobState
 	mergedThr  *stats.Series
 	samples    []Sample
@@ -494,6 +575,7 @@ type scenarioRun struct {
 	backfills  []BackfillResult
 	scrubs     []ScrubResult
 	injects    []InjectResult
+	grayOps    []GrayOpResult
 	events     []core.ClusterEvent
 }
 
@@ -575,6 +657,7 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 		r.phases = append(r.phases, PhaseInfo{Name: "tail", Start: cursor, End: end})
 	}
 	r.snaps = make([]core.Metrics, len(r.phases)+1)
+	r.graySnaps = make([]core.GrayMetrics, len(r.phases)+1)
 
 	// Collect the cluster event log for the duration of the run.
 	r.c.SetEventHook(func(ev core.ClusterEvent) {
@@ -599,9 +682,15 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 	// the t=0 reset above; the one at end closes the last phase).
 	for i := range r.phases {
 		i := i
-		r.e.Schedule(r.phases[i].Start, func() { r.snaps[i] = r.c.Metrics() })
+		r.e.Schedule(r.phases[i].Start, func() {
+			r.snaps[i] = r.c.Metrics()
+			r.graySnaps[i] = r.c.GrayMetrics()
+		})
 	}
-	r.e.Schedule(end, func() { r.snaps[len(r.phases)] = r.c.Metrics() })
+	r.e.Schedule(end, func() {
+		r.snaps[len(r.phases)] = r.c.Metrics()
+		r.graySnaps[len(r.phases)] = r.c.GrayMetrics()
+	})
 
 	// Samplers: merged cluster series over the whole scenario, plus
 	// per-job series ticking only while the job's own window is open.
@@ -634,19 +723,26 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 }
 
 // checkFailRestoreOrder walks the event timeline (events at the same
-// instant fire in scheduling order, i.e. At-call order) and rejects a
-// RestoreOSD whose target is not out at that point: the restore would
-// silently no-op, which always means a mis-specified scenario. The initial
-// out-set comes from the cluster's current OSD state, so restoring an OSD
-// failed before the scenario was built stays valid.
+// instant fire in scheduling order, i.e. At-call order) and rejects
+// sequences that would silently no-op or mix failure modes, which always
+// means a mis-specified scenario: a RestoreOSD whose target is not out at
+// that point, a DegradeOSD on an OSD that is out (fail-stop and gray
+// failure are distinct states), and a RestoreOSDHealth on an OSD no
+// earlier event degraded. The initial out/degraded sets come from the
+// cluster's current state, so acting on an OSD failed or degraded before
+// the scenario was built stays valid.
 func (s *Scenario) checkFailRestoreOrder() error {
 	ordered := make([]scheduledEvent, len(s.events))
 	copy(ordered, s.events)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
 	out := map[int]bool{}
+	degraded := map[int]bool{}
 	for _, o := range s.c.OSDs() {
 		if !o.Up() {
 			out[o.ID] = true
+		}
+		if s.c.OSDHealth(o.ID).Degraded {
+			degraded[o.ID] = true
 		}
 	}
 	for _, se := range ordered {
@@ -659,6 +755,18 @@ func (s *Scenario) checkFailRestoreOrder() error {
 					se.ev, se.at, ev.id)
 			}
 			delete(out, ev.id)
+		case degradeOSD:
+			if out[ev.id] {
+				return fmt.Errorf("workload: %s at %v: osd%d is out at that point in the timeline (restore it first)",
+					se.ev, se.at, ev.id)
+			}
+			degraded[ev.id] = true
+		case restoreOSDHealth:
+			if !degraded[ev.id] {
+				return fmt.Errorf("workload: %s at %v: osd%d is not degraded at that point in the timeline",
+					se.ev, se.at, ev.id)
+			}
+			delete(degraded, ev.id)
 		}
 	}
 	return nil
@@ -888,18 +996,21 @@ func (r *scenarioRun) addSampler(interval time.Duration, windowEnd sim.Time,
 // the end belong to the drain, not to the measurement window.
 func (r *scenarioRun) collect() *ScenarioResult {
 	res := &ScenarioResult{
-		Phases:     r.phases,
-		Metrics:    r.snaps[len(r.phases)],
-		Samples:    r.samples,
-		Recoveries: r.recoveries,
-		Backfills:  r.backfills,
-		Scrubs:     r.scrubs,
-		Injects:    r.injects,
-		Events:     r.events,
-		Seconds:    r.rel(r.end).Seconds(),
+		Phases:      r.phases,
+		Metrics:     r.snaps[len(r.phases)],
+		Samples:     r.samples,
+		Recoveries:  r.recoveries,
+		Backfills:   r.backfills,
+		Scrubs:      r.scrubs,
+		Injects:     r.injects,
+		GrayOps:     r.grayOps,
+		GrayMetrics: r.graySnaps[len(r.phases)].Sub(r.graySnaps[0]),
+		Events:      r.events,
+		Seconds:     r.rel(r.end).Seconds(),
 	}
 	for i := range r.phases {
 		res.PhaseMetrics = append(res.PhaseMetrics, r.snaps[i+1].Since(r.snaps[i]))
+		res.PhaseGray = append(res.PhaseGray, r.graySnaps[i+1].Sub(r.graySnaps[i]))
 	}
 	for _, js := range r.jobs {
 		job := js.sj.job

@@ -13,11 +13,21 @@ import (
 // an EC pool plus one on a replicated pool.
 func scenarioCluster(t *testing.T, carry bool, codecConc int) (*core.Cluster, *core.Image, *core.Image) {
 	t.Helper()
+	return scenarioClusterCfg(t, carry, codecConc, nil)
+}
+
+// scenarioClusterCfg is scenarioCluster with a config hook applied before
+// construction (gray-failure knobs, cache sizes, ...).
+func scenarioClusterCfg(t *testing.T, carry bool, codecConc int, tweak func(*core.Config)) (*core.Cluster, *core.Image, *core.Image) {
+	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.DeviceCapacity = 2 << 30
 	cfg.PGsPerPool = 64
 	cfg.CarryData = carry
 	cfg.CodecConcurrency = codecConc
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	c, err := core.New(sim.NewEngine(), cfg)
 	if err != nil {
 		t.Fatal(err)
