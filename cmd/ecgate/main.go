@@ -1,0 +1,269 @@
+// Command ecgate is the access gateway: the object-facing front door of
+// the service split. It encodes PUT bodies into RS(k,m) shards through
+// the zero-copy stream codec, places them with CRUSH, and serves GETs
+// with transparent degraded-read fallback when OSDs are down or slow.
+//
+// Server mode:
+//
+//	ecgate -listen :7310 -backend sim                 # in-process virtual cluster
+//	ecgate -listen :7310 -backend mem -hosts 3 -osds-per-host 2
+//	ecgate -listen :7310 -backend osd -osd-urls http://h1:7411,http://h2:7411,...
+//
+// Smoke mode (used by CI) drives a running gateway — and optionally a
+// set of ecstored daemons — through a put / degraded-get / delete
+// round trip and exits non-zero on any mismatch:
+//
+//	ecgate -smoke -url http://127.0.0.1:7310 -osd-urls http://127.0.0.1:7411,...
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ecarray/internal/crush"
+	"ecarray/internal/service"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7310", "HTTP listen address")
+		backend     = flag.String("backend", "sim", "shard backend: sim | mem | osd")
+		hosts       = flag.Int("hosts", 3, "sim/mem: failure-domain hosts")
+		osdsPerHost = flag.Int("osds-per-host", 2, "sim/mem: OSDs per host")
+		deviceMB    = flag.Int64("device-mb", 256, "sim: device capacity in MiB")
+		seed        = flag.Int64("seed", 1, "sim: device RNG seed")
+		k           = flag.Int("k", 4, "RS data shards")
+		m           = flag.Int("m", 2, "RS parity shards")
+		chunk       = flag.Int("chunk", 64<<10, "stripe-unit (per-shard chunk) bytes")
+		maxInflight = flag.Int("max-inflight", 256, "admission bound; excess requests get 429")
+		osdURLs     = flag.String("osd-urls", "", "osd backend / smoke: comma-separated ecstored base URLs")
+
+		smoke = flag.Bool("smoke", false, "run the smoke driver against -url instead of serving")
+		url   = flag.String("url", "http://127.0.0.1:7310", "smoke: gateway base URL")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	if *smoke {
+		if err := runSmoke(*url, splitURLs(*osdURLs), logger); err != nil {
+			logger.Error("smoke failed", "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("smoke passed", "gateway", *url)
+		return
+	}
+
+	cfg := service.DefaultGatewayConfig()
+	cfg.K, cfg.M = *k, *m
+	cfg.ChunkSize = *chunk
+	cfg.MaxInflight = *maxInflight
+	cfg.Logger = logger
+	cfg.Backend = *backend
+
+	var (
+		stores []service.ShardStore
+		cmap   *crush.Map
+	)
+	switch *backend {
+	case "sim":
+		vc, err := service.NewSimCluster(service.SimClusterConfig{
+			Hosts: *hosts, OSDsPerHost: *osdsPerHost, DeviceBytes: *deviceMB << 20, Seed: *seed,
+		})
+		if err != nil {
+			fatal(logger, "sim cluster", err)
+		}
+		stores, cmap = vc.Stores(), vc.CrushMap()
+		cfg.Faults, cfg.Sim = vc, vc
+	case "mem":
+		cmap = crush.Uniform(*hosts, *osdsPerHost)
+		mems := make([]*service.MemStore, cmap.Devices())
+		for i := range mems {
+			mems[i] = service.NewMemStore(i)
+			mems[i].SetHost(cmap.Host(i))
+			stores = append(stores, mems[i])
+		}
+		cfg.Faults = memFaults(mems)
+	case "osd":
+		urls := splitURLs(*osdURLs)
+		if len(urls) == 0 {
+			fatal(logger, "osd backend", errors.New("-osd-urls required"))
+		}
+		// One ecstored daemon per failure domain.
+		cmap = crush.Uniform(len(urls), 1)
+		for i, u := range urls {
+			stores = append(stores, service.NewOSDClient(i, u))
+		}
+	default:
+		fatal(logger, "backend", fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	placer, err := service.NewPlacer(cmap, cfg.K+cfg.M)
+	if err != nil {
+		fatal(logger, "placer", err)
+	}
+	gw, err := service.NewGateway(cfg, stores, placer)
+	if err != nil {
+		fatal(logger, "gateway", err)
+	}
+
+	logger.Info("ecgate listening", "addr", *listen, "backend", *backend,
+		"scheme", fmt.Sprintf("RS(%d,%d)", cfg.K, cfg.M), "osds", len(stores))
+	if err := http.ListenAndServe(*listen, gw.Handler()); err != nil {
+		fatal(logger, "serve", err)
+	}
+}
+
+func fatal(logger *slog.Logger, what string, err error) {
+	logger.Error(what, "error", err.Error())
+	os.Exit(1)
+}
+
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// memFaults adapts a MemStore fleet to the gateway's FaultInjector.
+type memFaults []*service.MemStore
+
+func (f memFaults) FailOSD(id int) error {
+	if id < 0 || id >= len(f) {
+		return fmt.Errorf("osd %d out of range", id)
+	}
+	f[id].Fail()
+	return nil
+}
+
+func (f memFaults) RestoreOSD(id int) error {
+	if id < 0 || id >= len(f) {
+		return fmt.Errorf("osd %d out of range", id)
+	}
+	f[id].Restore()
+	return nil
+}
+
+// runSmoke is the CI smoke driver: object round trip, forced degraded
+// read, delete, plus a direct shard round trip against each ecstored URL.
+func runSmoke(gateURL string, osdURLs []string, logger *slog.Logger) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	gc := service.NewGateClient(gateURL)
+	if err := gc.WaitReady(ctx, 30*time.Second); err != nil {
+		return err
+	}
+	st, err := gc.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	logger.Info("gateway up", "scheme", st.Scheme, "backend", st.Backend, "osds", st.OSDs)
+
+	// Deterministic payload spanning several stripes plus a ragged tail.
+	payload := make([]byte, 1<<20+12345)
+	rand.New(rand.NewSource(42)).Read(payload)
+	const key = "smoke/obj-1"
+
+	oi, err := gc.PutObject(ctx, key, payload)
+	if err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	if oi.Written != oi.Shards {
+		return fmt.Errorf("put landed %d of %d shards", oi.Written, oi.Shards)
+	}
+	logger.Info("put ok", "key", key, "size", oi.Size, "osds", fmt.Sprint(oi.OSDs))
+
+	got, degraded, err := gc.GetObject(ctx, key)
+	if err != nil {
+		return fmt.Errorf("get: %w", err)
+	}
+	if degraded {
+		return errors.New("healthy get reported degraded")
+	}
+	if !bytes.Equal(got, payload) {
+		return errors.New("healthy get: payload mismatch")
+	}
+
+	// Kill the OSD holding data shard 0 and read through reconstruction.
+	victim := oi.OSDs[0]
+	if err := gc.FailOSD(ctx, victim); err != nil {
+		return fmt.Errorf("fail osd %d: %w", victim, err)
+	}
+	got, degraded, err = gc.GetObject(ctx, key)
+	if err != nil {
+		return fmt.Errorf("degraded get: %w", err)
+	}
+	if !degraded {
+		return errors.New("get after OSD kill not reported degraded")
+	}
+	if !bytes.Equal(got, payload) {
+		return errors.New("degraded get: payload mismatch")
+	}
+	logger.Info("degraded get ok", "victim_osd", victim)
+
+	metrics, err := gc.MetricsText(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, series := range []string{"ecgate_degraded_reads_total", "ecgate_reconstructed_shards_total"} {
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("metrics missing %s", series)
+		}
+	}
+
+	if err := gc.RestoreOSD(ctx, victim); err != nil {
+		return fmt.Errorf("restore osd %d: %w", victim, err)
+	}
+	if err := gc.DeleteObject(ctx, key); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	if _, _, err := gc.GetObject(ctx, key); !errors.Is(err, service.ErrNotFound) {
+		return fmt.Errorf("get after delete: want not-found, got %v", err)
+	}
+	logger.Info("object lifecycle ok")
+
+	// Direct shard round trip against each ecstored daemon.
+	for i, u := range osdURLs {
+		oc := service.NewOSDClient(i, u)
+		shard := []byte(fmt.Sprintf("shard-payload-%d", i))
+		if err := oc.Put(ctx, "smoke/shard", i, shard); err != nil {
+			return fmt.Errorf("osd %s put: %w", u, err)
+		}
+		back, err := oc.Get(ctx, "smoke/shard", i)
+		if err != nil {
+			return fmt.Errorf("osd %s get: %w", u, err)
+		}
+		if !bytes.Equal(back, shard) {
+			return fmt.Errorf("osd %s shard mismatch", u)
+		}
+		stat, err := oc.Stat(ctx)
+		if err != nil {
+			return fmt.Errorf("osd %s stat: %w", u, err)
+		}
+		if stat.Shards < 1 {
+			return fmt.Errorf("osd %s stat reports %d shards", u, stat.Shards)
+		}
+		if err := oc.Delete(ctx, "smoke/shard", i); err != nil {
+			return fmt.Errorf("osd %s delete: %w", u, err)
+		}
+		if _, err := oc.Get(ctx, "smoke/shard", i); !errors.Is(err, service.ErrNotFound) {
+			return fmt.Errorf("osd %s get after delete: want not-found, got %v", u, err)
+		}
+		logger.Info("ecstored round trip ok", "url", u, "backend", stat.Backend)
+	}
+	return nil
+}

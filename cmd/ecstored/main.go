@@ -1,0 +1,72 @@
+// Command ecstored is the shard-store daemon: one per OSD, serving the
+// BlobNode side of the service split over HTTP. The gateway (ecgate)
+// speaks to a fleet of these through service.OSDClient.
+//
+// Usage:
+//
+//	ecstored -listen :7411 -id 0 -backend mem
+//	ecstored -listen :7412 -id 1 -backend sim -device-mb 256 -seed 1
+//
+// Backends:
+//
+//	mem  in-memory shard map (default; fast, volatile)
+//	sim  one simulated SSD + BlueStore-style store on a discrete-event
+//	     engine, so shard ops carry a simulated service-time cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+
+	"ecarray/internal/service"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7411", "HTTP listen address")
+		id       = flag.Int("id", 0, "OSD id (matches the gateway's placement index)")
+		backend  = flag.String("backend", "mem", "shard store backend: mem | sim")
+		host     = flag.String("host", "", "failure-domain host label (default nodeN)")
+		deviceMB = flag.Int64("device-mb", 256, "sim backend: device capacity in MiB")
+		seed     = flag.Int64("seed", 1, "sim backend: device RNG seed")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	hostLabel := *host
+	if hostLabel == "" {
+		hostLabel = fmt.Sprintf("node%d", *id)
+	}
+
+	var st service.ShardStore
+	switch *backend {
+	case "mem":
+		ms := service.NewMemStore(*id)
+		ms.SetHost(hostLabel)
+		st = ms
+	case "sim":
+		vc, err := service.NewSimCluster(service.SimClusterConfig{
+			Hosts: 1, OSDsPerHost: 1, DeviceBytes: *deviceMB << 20, Seed: *seed,
+		})
+		if err != nil {
+			logger.Error("sim backend", "error", err.Error())
+			os.Exit(1)
+		}
+		st = vc.Stores()[0]
+	default:
+		logger.Error("unknown backend", "backend", *backend)
+		os.Exit(1)
+	}
+
+	srv := service.NewOSDServer(*id, st, logger)
+	logger.Info("ecstored listening",
+		"addr", *listen, "osd", *id, "backend", *backend, "host", hostLabel)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		logger.Error("serve", "error", err.Error())
+		os.Exit(1)
+	}
+}

@@ -60,7 +60,9 @@ import (
 
 	"ecarray/internal/bench"
 	"ecarray/internal/core"
+	"ecarray/internal/crush"
 	"ecarray/internal/rs"
+	"ecarray/internal/service"
 	"ecarray/internal/sim"
 	"ecarray/internal/ssd"
 	"ecarray/internal/trace"
@@ -179,6 +181,34 @@ type (
 	BenchTable = bench.Table
 	// Scheme pairs a display name with a pool profile.
 	Scheme = bench.Scheme
+)
+
+// Service types: the networked BlobStore-style frontend (cmd/ecgate access
+// gateway + cmd/ecstored shard-store daemons) over the ShardStore seam.
+type (
+	// Gateway is the access layer: object PUT/GET/DELETE over k+m shard
+	// stores with CRUSH placement, degraded-read fallback, bounded
+	// admission and Prometheus-text metrics.
+	Gateway = service.Gateway
+	// GatewayConfig parameterizes the gateway (see DefaultGatewayConfig).
+	GatewayConfig = service.GatewayConfig
+	// ShardStore is the per-OSD shard storage contract the gateway fans
+	// out to — implemented in-process (MemStore, the simulated cluster)
+	// and over HTTP (OSDClient → ecstored).
+	ShardStore = service.ShardStore
+	// SimClusterBackend is the in-process virtual cluster: simulated SSDs
+	// with BlueStore-style stores as the first pluggable service backend.
+	SimClusterBackend = service.SimCluster
+	// SimClusterConfig sizes the virtual cluster.
+	SimClusterConfig = service.SimClusterConfig
+	// ObjectInfo describes a stored object (PUT response).
+	ObjectInfo = service.ObjectInfo
+	// GateClient is the object-level HTTP client for an ecgate gateway.
+	GateClient = service.GateClient
+	// OSDClient is the gateway-side ShardStore speaking HTTP to ecstored.
+	OSDClient = service.OSDClient
+	// CrushMap is the straw2 placement map the gateway places against.
+	CrushMap = crush.Map
 )
 
 // Trace types.
@@ -307,6 +337,35 @@ func RestoreOSDHealth(id int) ScenarioEvent { return workload.RestoreOSDHealth(i
 func ScenarioCallback(name string, fn func(p *Proc, c *Cluster)) ScenarioEvent {
 	return workload.Callback(name, fn)
 }
+
+// DefaultGatewayConfig returns production-shaped gateway defaults:
+// RS(4,2), 64 KiB chunks, bounded admission, degraded-read fallback.
+func DefaultGatewayConfig() GatewayConfig { return service.DefaultGatewayConfig() }
+
+// NewSimClusterBackend builds the in-process virtual cluster backend for
+// the service gateway (what `ecgate -backend=sim` boots).
+func NewSimClusterBackend(cfg SimClusterConfig) (*SimClusterBackend, error) {
+	return service.NewSimCluster(cfg)
+}
+
+// DefaultSimClusterConfig returns a small 3-host × 2-OSD virtual cluster.
+func DefaultSimClusterConfig() SimClusterConfig { return service.DefaultSimClusterConfig() }
+
+// NewGateway wires an access gateway over one ShardStore per OSD, placing
+// k+m shards per object with CRUSH. See cmd/ecgate for the HTTP server.
+func NewGateway(cfg GatewayConfig, stores []ShardStore, m *CrushMap) (*Gateway, error) {
+	placer, err := service.NewPlacer(m, cfg.K+cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	return service.NewGateway(cfg, stores, placer)
+}
+
+// NewGateClient returns an object-level HTTP client for a running ecgate.
+func NewGateClient(baseURL string) *GateClient { return service.NewGateClient(baseURL) }
+
+// UniformCrushMap builds a placement map of hosts × perHost uniform OSDs.
+func UniformCrushMap(hosts, perHost int) *CrushMap { return crush.Uniform(hosts, perHost) }
 
 // NewRS constructs an RS(k,m) codec.
 func NewRS(k, m int) (*RS, error) { return rs.New(k, m) }

@@ -90,6 +90,7 @@ type CellReport struct {
 	BlockSize  int64  `json:"block_size"`
 	StripeUnit int64  `json:"stripe_unit"`
 	Kernel     string `json:"kernel"`
+	Fault      string `json:"fault,omitempty"` // "none", "degraded", "recovering"
 	Seed       int64  `json:"seed"`
 
 	Ops              int64   `json:"ops"`

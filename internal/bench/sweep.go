@@ -34,7 +34,14 @@ type Grid struct {
 	BlockSizes  []int64  `json:"block_sizes"`  // bytes
 	StripeUnits []int64  `json:"stripe_units"` // bytes (EC chunk size)
 	Kernels     []string `json:"kernels"`      // GF kernel tiers
+	Faults      []string `json:"faults"`       // cluster state: "none", "degraded", "recovering"
 }
+
+// FaultAxis lists the valid fault-state axis values: a healthy cluster, a
+// cluster serving with one OSD failed (degraded reads reconstruct, §IV-E),
+// and a degraded cluster with background recovery running against the
+// foreground load.
+func FaultAxis() []string { return []string{"none", "degraded", "recovering"} }
 
 // CellKey identifies one sweep cell.
 type CellKey struct {
@@ -44,18 +51,33 @@ type CellKey struct {
 	BlockSize  int64
 	StripeUnit int64
 	Kernel     string
+	Fault      string // "" means "none"
+}
+
+// fault normalizes the empty value to "none" (pre-fault-axis cell keys).
+func (k CellKey) fault() string {
+	if k.Fault == "" {
+		return "none"
+	}
+	return k.Fault
 }
 
 // ID renders the canonical cell identifier used in reports and seeds.
 func (k CellKey) ID() string {
-	return fmt.Sprintf("%s/%s/%s/bs%d/su%d/%s",
-		k.Scheme, k.Pattern, k.Op, k.BlockSize, k.StripeUnit, k.Kernel)
+	return fmt.Sprintf("%s/%s/%s/bs%d/su%d/%s/%s",
+		k.Scheme, k.Pattern, k.Op, k.BlockSize, k.StripeUnit, k.Kernel, k.fault())
 }
 
 // Cells enumerates the grid in canonical nested order (schemes, patterns,
-// ops, block sizes, stripe units, kernels). The enumeration index is what
-// shards slice over, so it must stay stable for a given grid.
+// ops, block sizes, stripe units, kernels, faults). The enumeration index
+// is what shards slice over, so it must stay stable for a given grid. An
+// empty Faults axis enumerates as a single healthy ("none") state, keeping
+// pre-fault-axis grids valid.
 func (g Grid) Cells() []CellKey {
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []string{"none"}
+	}
 	var out []CellKey
 	for _, sc := range g.Schemes {
 		ec := sc != "3-Rep" && schemeByName(sc) != nil && schemeByName(sc).Profile.IsEC()
@@ -67,10 +89,13 @@ func (g Grid) Cells() []CellKey {
 							continue // stripe unit is an EC-only axis
 						}
 						for _, kern := range g.Kernels {
-							out = append(out, CellKey{
-								Scheme: sc, Pattern: pat, Op: op,
-								BlockSize: bs, StripeUnit: su, Kernel: kern,
-							})
+							for _, fault := range faults {
+								out = append(out, CellKey{
+									Scheme: sc, Pattern: pat, Op: op,
+									BlockSize: bs, StripeUnit: su, Kernel: kern,
+									Fault: fault,
+								})
+							}
 						}
 					}
 				}
@@ -117,6 +142,18 @@ func (g Grid) validate() error {
 			return fmt.Errorf("bench: unknown codec kernel %q in grid", kern)
 		}
 	}
+	for _, fault := range g.Faults {
+		ok := false
+		for _, v := range FaultAxis() {
+			if fault == v {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("bench: unknown fault state %q in grid (want one of %v)",
+				fault, FaultAxis())
+		}
+	}
 	return nil
 }
 
@@ -145,15 +182,17 @@ func kernelLadder() []string {
 // SweepPreset resolves a -scale preset name into run options and a grid:
 //
 //   - "smoke": the CI gate — 2 schemes × random × read/write × {4,16} KB on
-//     the small testbed, short windows; finishes in tens of seconds.
+//     the small testbed, healthy and degraded (one OSD failed) cluster
+//     states, short windows; finishes in tens of seconds.
 //   - "quick": 3 schemes × both patterns × read/write × the Quick block
-//     sweep on the small testbed.
+//     sweep on the small testbed, healthy cluster only.
 //   - "paper": the full campaign — 52-OSD array, 3 schemes × both
 //     patterns × read/write × the paper's 1 KB..128 KB sweep, stripe units
 //     {4,16,64} KB, the full codec-kernel ladder (fixed, not
 //     host-detected, so the grid is identical on every machine and shards
-//     from heterogeneous hosts merge). Hours of wall time serially; shard
-//     it (ecbench -shard i/n).
+//     from heterogeneous hosts merge), and all three fault states
+//     (healthy, degraded, recovering — the §IV-E axis). Hours of wall
+//     time serially; shard it (ecbench -shard i/n).
 func SweepPreset(name string) (Options, Grid, error) {
 	switch name {
 	case "smoke":
@@ -164,6 +203,7 @@ func SweepPreset(name string) (Options, Grid, error) {
 			BlockSizes:  []int64{4 << 10, 16 << 10},
 			StripeUnits: []int64{4 << 10},
 			Kernels:     []string{"auto"},
+			Faults:      []string{"none", "degraded"},
 		}, nil
 	case "quick":
 		return Quick(), Grid{
@@ -173,6 +213,7 @@ func SweepPreset(name string) (Options, Grid, error) {
 			BlockSizes:  Quick().BlockSizes,
 			StripeUnits: []int64{4 << 10},
 			Kernels:     []string{"auto"},
+			Faults:      []string{"none"},
 		}, nil
 	case "paper":
 		o := Paper()
@@ -186,6 +227,7 @@ func SweepPreset(name string) (Options, Grid, error) {
 			BlockSizes:  PaperBlockSizes(),
 			StripeUnits: []int64{4 << 10, 16 << 10, 64 << 10},
 			Kernels:     kernelLadder(),
+			Faults:      FaultAxis(),
 		}, nil
 	}
 	return Options{}, Grid{}, fmt.Errorf("bench: unknown sweep preset %q", name)
@@ -341,7 +383,7 @@ func (s *Suite) runSweepCell(k CellKey) (CellReport, error) {
 		job.Ramp = s.Opt.Ramp
 	}
 	engBefore := s.eng
-	res, err := workload.Run(c, img, job)
+	res, err := s.runCellJob(c, img, job, k.fault())
 	if err != nil {
 		return CellReport{}, err
 	}
@@ -357,6 +399,7 @@ func (s *Suite) runSweepCell(k CellKey) (CellReport, error) {
 		BlockSize:  k.BlockSize,
 		StripeUnit: k.StripeUnit,
 		Kernel:     k.Kernel,
+		Fault:      k.fault(),
 		Seed:       seed,
 
 		Ops:              res.Ops,
@@ -396,10 +439,43 @@ func (s *Suite) runSweepCell(k CellKey) (CellReport, error) {
 	return cr, nil
 }
 
+// runCellJob executes one cell's job under its fault state. The healthy
+// state is the plain closed-loop runner; "degraded" fails OSDs 0 and 7 at
+// t=0 — the same two-failure shape as the §IV-E scenario tables — so the
+// whole window serves with holes in the array; "recovering" additionally
+// runs background repair on the pool against the foreground load. Fault
+// events ride the Scenario machinery, so the run stays fully deterministic
+// under the cell seed.
+func (s *Suite) runCellJob(c *core.Cluster, img *core.Image, job workload.Job, fault string) (workload.Result, error) {
+	if fault == "none" {
+		return workload.Run(c, img, job)
+	}
+	sc := workload.NewScenario(c).AddJob(img, job).At(0, workload.FailOSD(0))
+	if len(c.OSDs()) > 7 {
+		sc = sc.At(0, workload.FailOSD(7))
+	}
+	if fault == "recovering" {
+		sc = sc.At(0, workload.StartRecovery("data"))
+	}
+	sres, err := sc.Run()
+	if err != nil {
+		return workload.Result{}, err
+	}
+	if len(sres.Jobs) != 1 {
+		return workload.Result{}, fmt.Errorf("bench: fault cell ran %d jobs, want 1", len(sres.Jobs))
+	}
+	return sres.Jobs[0].Result, nil
+}
+
 // cellChecks returns the paper-band verdicts that apply to one cell in
 // isolation. Bands match the tier-1 calibration-invariant tests: wide,
 // guarding mechanisms and directions rather than exact testbed numbers.
 func cellChecks(k CellKey, c Cell) []paperref.CheckResult {
+	if k.fault() != "none" {
+		// The paper-band numbers describe the healthy cluster; fault cells
+		// are checked cross-cell (healthy vs degraded) at report level.
+		return nil
+	}
 	var out []paperref.CheckResult
 	rand, seq := workload.Random.String(), workload.Sequential.String()
 	read, write := workload.Read.String(), workload.Write.String()
@@ -433,9 +509,12 @@ func computeReportChecks(r *BenchReport) []ReportCheck {
 		return nil
 	}
 	su, kern := r.Grid.StripeUnits[0], r.Grid.Kernels[0]
-	cell := func(scheme, pattern, op string, bs int64) *CellReport {
+	cellAt := func(scheme, pattern, op string, bs int64, fault string) *CellReport {
 		return r.Cell(CellKey{Scheme: scheme, Pattern: pattern, Op: op,
-			BlockSize: bs, StripeUnit: su, Kernel: kern}.ID())
+			BlockSize: bs, StripeUnit: su, Kernel: kern, Fault: fault}.ID())
+	}
+	cell := func(scheme, pattern, op string, bs int64) *CellReport {
+		return cellAt(scheme, pattern, op, bs, "none")
 	}
 	var out []ReportCheck
 	add := func(res paperref.CheckResult, cells ...*CellReport) {
@@ -477,6 +556,17 @@ func computeReportChecks(r *BenchReport) []ReportCheck {
 	if repS != nil && rs63S != nil && rs63S.MBps > 0 {
 		if p, ok := paperref.Lookup("fig5", "rep_over_rs63_mid"); ok {
 			add(p.CheckWithin(repS.MBps/rs63S.MBps, 2, 40), repS, rs63S)
+		}
+	}
+	// Fault-axis cross-cell check (§IV-E): failing an OSD must not speed
+	// reads up — the degraded (and recovering) EC read cells stay at or
+	// below the healthy cell's throughput, within noise.
+	for _, fault := range []string{"degraded", "recovering"} {
+		healthy, faulty := cell("RS(6,3)", rand, read, bs), cellAt("RS(6,3)", rand, read, bs, fault)
+		if healthy != nil && faulty != nil && faulty.MBps > 0 {
+			if p, ok := paperref.Lookup("text", "degraded_read_penalty"); ok {
+				add(p.CheckWithin(healthy.MBps/faulty.MBps, 0.9, 50), healthy, faulty)
+			}
 		}
 	}
 	return out

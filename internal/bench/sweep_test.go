@@ -106,6 +106,17 @@ func TestGridEnumeration(t *testing.T) {
 		}
 		ids[c.ID()] = true
 	}
+	// An explicit fault axis multiplies the grid; an empty one means the
+	// single healthy state.
+	g.Faults = []string{"none", "degraded"}
+	if n := len(g.Cells()); n != 6 {
+		t.Fatalf("fault-axis cells = %d, want 6", n)
+	}
+	for _, c := range g.Cells() {
+		if c.Fault == "" {
+			t.Fatalf("cell %s missing fault state", c.ID())
+		}
+	}
 	bad := []Grid{
 		{},
 		{Schemes: []string{"bogus"}, Patterns: []string{"rand"}, Ops: []string{"read"},
@@ -116,6 +127,9 @@ func TestGridEnumeration(t *testing.T) {
 			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"auto"}},
 		{Schemes: []string{"3-Rep"}, Patterns: []string{"rand"}, Ops: []string{"read"},
 			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"warp"}},
+		{Schemes: []string{"3-Rep"}, Patterns: []string{"rand"}, Ops: []string{"read"},
+			BlockSizes: []int64{4096}, StripeUnits: []int64{4096}, Kernels: []string{"auto"},
+			Faults: []string{"meteor"}},
 	}
 	for i, g := range bad {
 		if err := g.validate(); err == nil {
@@ -169,6 +183,64 @@ func TestSweepDeterminism(t *testing.T) {
 		if c.Ops == 0 || c.MBps <= 0 || c.EngineEvents == 0 {
 			t.Fatalf("empty cell %s: %+v", c.ID, c)
 		}
+	}
+}
+
+// TestSweepFaultAxis runs one read cell in each cluster state and checks
+// the fault axis does real, deterministic work: fault cells record their
+// state, survive both failure and failure+recovery, and the degraded
+// cluster never beats the healthy one.
+func TestSweepFaultAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs are slow")
+	}
+	g := Grid{
+		Schemes:     []string{"RS(6,3)"},
+		Patterns:    []string{workload.Random.String()},
+		Ops:         []string{workload.Read.String()},
+		BlockSizes:  []int64{4 << 10},
+		StripeUnits: []int64{4 << 10},
+		Kernels:     []string{"auto"},
+		Faults:      []string{"none", "degraded", "recovering"},
+	}
+	run := func() *BenchReport {
+		s, err := NewSuite(microSweepOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunSweep("micro", g, 0, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run()
+	if len(r.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(r.Cells))
+	}
+	byFault := map[string]CellReport{}
+	for _, c := range r.Cells {
+		if c.Fault == "" {
+			t.Fatalf("cell %s has no fault state", c.ID)
+		}
+		if c.Ops == 0 || c.MBps <= 0 {
+			t.Fatalf("fault cell %s did no work: %+v", c.ID, c)
+		}
+		byFault[c.Fault] = c
+	}
+	for _, want := range g.Faults {
+		if _, ok := byFault[want]; !ok {
+			t.Fatalf("no cell for fault state %q", want)
+		}
+	}
+	if byFault["degraded"].MBps > byFault["none"].MBps*1.05 {
+		t.Fatalf("degraded reads (%.1f MB/s) beat healthy (%.1f MB/s)",
+			byFault["degraded"].MBps, byFault["none"].MBps)
+	}
+	// Fault cells are deterministic like every other cell.
+	r2 := run()
+	if r.DeterministicDigest() != r2.DeterministicDigest() {
+		t.Fatal("fault-axis sweep not deterministic")
 	}
 }
 

@@ -105,6 +105,7 @@ func Points() []Point {
 		{"fig20", "converge_s", 70, false, "converges after ~70 s"},
 
 		// §X conclusions.
+		{"text", "degraded_read_penalty", 1, true, "degraded/recovering EC reads reconstruct from k surviving chunks and do not outpace healthy reads (§IV-E)"},
 		{"text", "net_max_ratio", 75, false, "EC private traffic up to 75x replication's"},
 		{"text", "ctx_max_ratio", 21, false, "up to 21x more context switches"},
 		{"text", "cpu_max_ratio", 12, false, "up to 12x more CPU cycles"},

@@ -1,0 +1,338 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// StatusError is a non-2xx response from a service endpoint, preserving
+// the code and Retry-After hint so callers can distinguish 404 / 429 /
+// 503 programmatically.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: http %d: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("service: http %d", e.Code)
+}
+
+// decodeError turns a non-2xx response into an error: sentinel errors for
+// the codes the gateway data path must act on, StatusError otherwise.
+func decodeError(resp *http.Response) error {
+	var body errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	_ = json.Unmarshal(raw, &body)
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return ErrNotFound
+	case http.StatusServiceUnavailable:
+		// An ecstored answering 503 is a down OSD from the gateway's view.
+		return fmt.Errorf("%w: %s", ErrOSDDown, body.Error)
+	}
+	return &StatusError{Code: resp.StatusCode, Message: body.Error, RetryAfter: resp.Header.Get("Retry-After")}
+}
+
+func defaultHTTPClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 64
+	return &http.Client{Transport: tr}
+}
+
+// OSDClient is the gateway-side ShardStore speaking HTTP to one ecstored
+// daemon.
+type OSDClient struct {
+	id   int
+	base string
+	hc   *http.Client
+}
+
+// NewOSDClient targets an ecstored daemon at baseURL (e.g.
+// "http://127.0.0.1:7411") as OSD id.
+func NewOSDClient(id int, baseURL string) *OSDClient {
+	return &OSDClient{id: id, base: strings.TrimRight(baseURL, "/"), hc: defaultHTTPClient()}
+}
+
+// BaseURL returns the daemon address.
+func (c *OSDClient) BaseURL() string { return c.base }
+
+func (c *OSDClient) shardURL(key string, shard int) string {
+	return fmt.Sprintf("%s/v1/shards/%s/%d", c.base, url.PathEscape(key), shard)
+}
+
+func (c *OSDClient) do(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Connection refused / reset / deadline: the OSD is unreachable.
+		return nil, fmt.Errorf("%w: %v", ErrOSDDown, err)
+	}
+	return resp, nil
+}
+
+// Put implements ShardStore.
+func (c *OSDClient) Put(ctx context.Context, key string, shard int, data []byte) error {
+	resp, err := c.do(ctx, http.MethodPut, c.shardURL(key, shard), data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Get implements ShardStore.
+func (c *OSDClient) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.shardURL(key, shard), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Delete implements ShardStore.
+func (c *OSDClient) Delete(ctx context.Context, key string, shard int) error {
+	resp, err := c.do(ctx, http.MethodDelete, c.shardURL(key, shard), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Stat implements ShardStore.
+func (c *OSDClient) Stat(ctx context.Context) (OSDStat, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.base+"/v1/stat", nil)
+	if err != nil {
+		return OSDStat{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return OSDStat{}, decodeError(resp)
+	}
+	var st OSDStat
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return OSDStat{}, err
+	}
+	st.ID = c.id
+	return st, nil
+}
+
+// Healthz probes the daemon's liveness endpoint.
+func (c *OSDClient) Healthz(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// GateClient is the object-level HTTP client for an ecgate gateway — what
+// load drivers, the smoke leg and service tests speak.
+type GateClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewGateClient targets a gateway at baseURL.
+func NewGateClient(baseURL string) *GateClient {
+	return &GateClient{base: strings.TrimRight(baseURL, "/"), hc: defaultHTTPClient()}
+}
+
+func (c *GateClient) objectURL(key string) string {
+	return c.base + "/v1/objects/" + url.PathEscape(key)
+}
+
+func (c *GateClient) do(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// PutObject stores data under key.
+func (c *GateClient) PutObject(ctx context.Context, key string, data []byte) (ObjectInfo, error) {
+	resp, err := c.do(ctx, http.MethodPut, c.objectURL(key), data)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ObjectInfo{}, decodeGateError(resp)
+	}
+	var oi ObjectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&oi); err != nil {
+		return ObjectInfo{}, err
+	}
+	return oi, nil
+}
+
+// GetObject reads key back; degraded reports whether the gateway had to
+// reconstruct data shards from parity.
+func (c *GateClient) GetObject(ctx context.Context, key string) (data []byte, degraded bool, err error) {
+	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, decodeGateError(resp)
+	}
+	data, err = io.ReadAll(resp.Body)
+	return data, resp.Header.Get("X-EC-Degraded") == "true", err
+}
+
+// DeleteObject removes key.
+func (c *GateClient) DeleteObject(ctx context.Context, key string) error {
+	resp, err := c.do(ctx, http.MethodDelete, c.objectURL(key), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeGateError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// decodeGateError keeps the full status detail (the gateway's 429/503
+// semantics matter to callers), mapping only 404 to ErrNotFound.
+func decodeGateError(resp *http.Response) error {
+	var body errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	_ = json.Unmarshal(raw, &body)
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrNotFound
+	}
+	return &StatusError{Code: resp.StatusCode, Message: body.Error, RetryAfter: resp.Header.Get("Retry-After")}
+}
+
+// Status fetches /v1/status.
+func (c *GateClient) Status(ctx context.Context) (StatusInfo, error) {
+	var st StatusInfo
+	err := c.getJSON(ctx, "/v1/status", &st)
+	return st, err
+}
+
+// OSDs fetches /v1/osds.
+func (c *GateClient) OSDs(ctx context.Context) ([]OSDStatus, error) {
+	var out []OSDStatus
+	err := c.getJSON(ctx, "/v1/osds", &out)
+	return out, err
+}
+
+func (c *GateClient) getJSON(ctx context.Context, path string, v any) error {
+	resp, err := c.do(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeGateError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// FailOSD kills OSD id through the gateway's fault-injection endpoint.
+func (c *GateClient) FailOSD(ctx context.Context, id int) error {
+	return c.postFault(ctx, id, "fail")
+}
+
+// RestoreOSD revives OSD id.
+func (c *GateClient) RestoreOSD(ctx context.Context, id int) error {
+	return c.postFault(ctx, id, "restore")
+}
+
+func (c *GateClient) postFault(ctx context.Context, id int, action string) error {
+	resp, err := c.do(ctx, http.MethodPost, fmt.Sprintf("%s/v1/osds/%d/%s", c.base, id, action), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeGateError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// MetricsText fetches the raw /metrics exposition.
+func (c *GateClient) MetricsText(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeGateError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// WaitReady polls /healthz until the deadline (boot synchronization for
+// smoke drivers).
+func (c *GateClient) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.do(ctx, http.MethodGet, c.base+"/healthz", nil)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("service: gateway not ready: %w", err)
+			}
+			return fmt.Errorf("service: gateway not ready")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

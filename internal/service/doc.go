@@ -1,0 +1,55 @@
+// Package service is the networked BlobStore-style frontend over the
+// erasure-coded storage engine: the layer that turns this repository from a
+// library + bench harness into something that listens on a socket.
+//
+// The shape follows cubeFS BlobStore's module split (Access / BlobNode),
+// scaled to this repo:
+//
+//	Module    Binary        Role
+//	------    ------        ----
+//	Gateway   cmd/ecgate    Access layer: object PUT/GET/DELETE over HTTP,
+//	                        striping through rs.StreamEncode/StreamDecode,
+//	                        CRUSH shard placement, degraded-read fallback,
+//	                        admission control, request logs, /metrics.
+//	OSD       cmd/ecstored  BlobNode layer: one shard-store daemon per OSD,
+//	                        serving shard read/write/delete against a
+//	                        pluggable backend (in-memory or simulated
+//	                        BlueStore+SSD).
+//
+// The seam between them is the ShardStore interface: the gateway speaks it,
+// and three implementations exist —
+//
+//   - MemStore: a mutex-guarded in-memory shard map (the ecstored default);
+//   - SimCluster / SimStore: the simulated cluster as a backend — every
+//     shard op runs through the deterministic discrete-event engine against
+//     a BlueStore-like store on a simulated SSD, so `ecgate -backend=sim`
+//     boots a full in-process "virtual cluster" that is load-testable with
+//     no real daemons and byte-deterministic under a fixed seed;
+//   - OSDClient: the HTTP client for a remote ecstored daemon.
+//
+// Because placement (CRUSH straw2 over the healthy map), striping geometry
+// (chunk size, RS(k,m)) and shard layout are identical across backends, the
+// same gateway code path is exercised whether the shards live in process
+// memory, in the simulator, or behind real HTTP daemons.
+//
+// # Data path
+//
+// PUT bodies are striped with the zero-copy rs.StreamEncode path into k+m
+// shard streams and fanned out to the placed OSDs with a per-shard
+// deadline; at least k writes must land or the put fails with
+// ErrInsufficientShards (HTTP 503) and the partial shards are deleted.
+// GET fetches the k data shards first; any shard that is down, slow past
+// its deadline, or corrupt-length is replaced by parity fetches and the
+// payload is rebuilt through rs.StreamDecode — a degraded read, counted on
+// /metrics and proven byte-identical to the healthy read by tests. DELETE
+// fans out shard deletes and forgets the object; a subsequent GET is 404.
+//
+// # Production concerns
+//
+// Bounded in-flight admission returns 429 (with Retry-After) when the
+// gateway is saturated; fewer than k reachable shards returns 503 with
+// Retry-After; per-OSD consecutive-failure tracking feeds /v1/osds health;
+// every request emits one structured (slog JSON) log line; /metrics exposes
+// Prometheus-text counters and latency histograms (per-op latency, bytes
+// in/out, degraded reads, reconstructions, shard errors, admission drops).
+package service

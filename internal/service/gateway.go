@@ -1,0 +1,628 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecarray/internal/rs"
+)
+
+// Gateway-level errors; the HTTP layer maps them onto status codes.
+var (
+	// ErrOverloaded: the bounded in-flight admission gate is full (429).
+	ErrOverloaded = errors.New("service: gateway overloaded")
+	// ErrInsufficientShards: fewer than k shards reachable (503).
+	ErrInsufficientShards = errors.New("service: fewer than k shards reachable")
+	// ErrBadRequest wraps client-side validation failures (400).
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrTooLarge: object exceeds the configured body limit (413).
+	ErrTooLarge = errors.New("service: object too large")
+)
+
+// SimClock is implemented by backends that accumulate simulated time (the
+// virtual cluster); the gateway surfaces it on /v1/status when present.
+type SimClock interface{ SimSeconds() float64 }
+
+// GatewayConfig parameterizes the access gateway.
+type GatewayConfig struct {
+	// K and M are the RS(k,m) geometry; K+M shards are placed per object.
+	K, M int
+	// ChunkSize is the stripe-unit (per-shard chunk) in bytes for the
+	// StreamEncode/StreamDecode path.
+	ChunkSize int
+	// ShardTimeout bounds each shard-store op; a shard slower than this is
+	// abandoned and the read falls back to parity reconstruction.
+	ShardTimeout time.Duration
+	// RequestTimeout bounds a whole object request.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently admitted object requests; excess
+	// requests are rejected with ErrOverloaded (HTTP 429).
+	MaxInflight int
+	// MaxObjectBytes bounds PUT bodies.
+	MaxObjectBytes int64
+	// FailThreshold is the consecutive-error count after which an OSD is
+	// reported down on /v1/osds (informational; the data path still
+	// attempts every placed shard so recovery is observed immediately).
+	FailThreshold int
+	// Logger receives one structured line per request; nil discards.
+	Logger *slog.Logger
+	// Faults, when non-nil, exposes kill/revive admin endpoints
+	// (POST /v1/osds/{id}/fail, /restore) — wired for the virtual cluster.
+	Faults FaultInjector
+	// Sim, when non-nil, reports simulated time on /v1/status.
+	Sim SimClock
+	// Backend names the shard-store flavour for /v1/status.
+	Backend string
+}
+
+// DefaultGatewayConfig returns production-shaped defaults for a 6-OSD
+// virtual cluster: RS(4,2), 64 KiB chunks, 2 s shard deadline.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{
+		K: 4, M: 2,
+		ChunkSize:      64 << 10,
+		ShardTimeout:   2 * time.Second,
+		RequestTimeout: 15 * time.Second,
+		MaxInflight:    256,
+		MaxObjectBytes: 64 << 20,
+		FailThreshold:  3,
+	}
+}
+
+func (c *GatewayConfig) validate() error {
+	if c.K <= 0 || c.M <= 0 {
+		return fmt.Errorf("service: K and M must be positive (got %d,%d)", c.K, c.M)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("service: ChunkSize must be positive")
+	}
+	if c.MaxInflight <= 0 {
+		return fmt.Errorf("service: MaxInflight must be positive")
+	}
+	if c.MaxObjectBytes <= 0 {
+		return fmt.Errorf("service: MaxObjectBytes must be positive")
+	}
+	if c.ShardTimeout <= 0 || c.RequestTimeout <= 0 {
+		return fmt.Errorf("service: timeouts must be positive")
+	}
+	return nil
+}
+
+// objectMeta is the gateway's in-memory object index entry: logical size,
+// the CRUSH-placed OSD per shard, and which shards actually landed. skey
+// is the generation-stamped backend key ("key@gen"): each PUT writes a
+// fresh generation, so a failed overwrite is rolled back without touching
+// the previous object's shards.
+type objectMeta struct {
+	size int64
+	skey string
+	osds []int
+	ok   []bool // shard i written successfully at PUT time
+}
+
+// ObjectInfo describes a stored object.
+type ObjectInfo struct {
+	Key     string `json:"key"`
+	Size    int64  `json:"size"`
+	Shards  int    `json:"shards"`
+	Written int    `json:"written"` // < Shards means a degraded write
+	OSDs    []int  `json:"osds"`
+}
+
+// GetInfo describes how a read was served.
+type GetInfo struct {
+	Size          int64
+	Degraded      bool // at least one data shard was reconstructed
+	Reconstructed int  // number of data shards rebuilt from parity
+	ShardErrors   int  // shard fetches that failed or timed out
+}
+
+// osdHealth is the per-OSD consecutive-failure tracker feeding /v1/osds.
+type osdHealth struct {
+	mu      sync.Mutex
+	consec  int
+	down    bool
+	lastErr string
+}
+
+// Gateway is the access layer: object PUT/GET/DELETE over k+m shard
+// stores, with CRUSH placement, degraded-read fallback, bounded
+// admission, structured logs and Prometheus-text metrics.
+type Gateway struct {
+	cfg    GatewayConfig
+	code   *rs.Code
+	placer *Placer
+	stores []ShardStore
+	log    *slog.Logger
+	reg    *Registry
+
+	inflight chan struct{}
+
+	gen atomic.Uint64 // generation stamp for backend shard keys
+
+	mu      sync.RWMutex
+	objects map[string]*objectMeta
+	stored  int64 // sum of object sizes
+
+	health []osdHealth
+}
+
+// NewGateway wires a gateway over one ShardStore per OSD (indexed by OSD
+// ID, matching the placer's device IDs).
+func NewGateway(cfg GatewayConfig, stores []ShardStore, placer *Placer) (*Gateway, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if placer == nil {
+		return nil, fmt.Errorf("service: nil placer")
+	}
+	if placer.Width() != cfg.K+cfg.M {
+		return nil, fmt.Errorf("service: placer width %d != k+m %d", placer.Width(), cfg.K+cfg.M)
+	}
+	if len(stores) != placer.Devices() {
+		return nil, fmt.Errorf("service: %d stores for %d devices", len(stores), placer.Devices())
+	}
+	code, err := rs.New(cfg.K, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return &Gateway{
+		cfg:      cfg,
+		code:     code,
+		placer:   placer,
+		stores:   stores,
+		log:      logger,
+		reg:      NewRegistry(),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		objects:  map[string]*objectMeta{},
+		health:   make([]osdHealth, len(stores)),
+	}, nil
+}
+
+// Metrics returns the gateway's registry (the /metrics source).
+func (g *Gateway) Metrics() *Registry { return g.reg }
+
+// Config returns the gateway configuration.
+func (g *Gateway) Config() GatewayConfig { return g.cfg }
+
+// admit reserves an admission slot; callers must release() on success.
+func (g *Gateway) admit() bool {
+	select {
+	case g.inflight <- struct{}{}:
+		g.reg.Gauge("ecgate_inflight").Add(1)
+		return true
+	default:
+		g.reg.Counter("ecgate_admission_rejected_total").Inc()
+		return false
+	}
+}
+
+func (g *Gateway) release() {
+	<-g.inflight
+	g.reg.Gauge("ecgate_inflight").Add(-1)
+}
+
+// noteResult feeds the per-OSD health tracker.
+func (g *Gateway) noteResult(osd int, err error) {
+	h := &g.health[osd]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil || errors.Is(err, ErrNotFound) {
+		h.consec = 0
+		h.down = false
+		h.lastErr = ""
+		return
+	}
+	h.consec++
+	h.lastErr = err.Error()
+	if h.consec >= g.cfg.FailThreshold {
+		h.down = true
+	}
+}
+
+// shardOp runs fn against one shard store under the per-shard deadline
+// and records the outcome in the OSD health tracker.
+func (g *Gateway) shardOp(ctx context.Context, osd int, fn func(ctx context.Context) error) error {
+	sctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
+	defer cancel()
+	err := fn(sctx)
+	g.noteResult(osd, err)
+	return err
+}
+
+// shardLen returns the per-shard stream length for a payload of size
+// bytes: full stripes of ChunkSize plus one padded final stripe.
+func (g *Gateway) shardLen(size int64) int64 {
+	if size == 0 {
+		return 0
+	}
+	stripe := int64(g.cfg.ChunkSize) * int64(g.cfg.K)
+	stripes := (size + stripe - 1) / stripe
+	return stripes * int64(g.cfg.ChunkSize)
+}
+
+// PutObject stripes data into k+m shards and fans them out to the placed
+// OSDs. At least k shards must land; fewer is ErrInsufficientShards and
+// any partial shards are deleted. Fewer than k+m (but ≥ k) is a degraded
+// write, counted and recorded in the object's shard mask.
+func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (ObjectInfo, error) {
+	if !g.admit() {
+		return ObjectInfo{}, ErrOverloaded
+	}
+	defer g.release()
+	if key == "" {
+		return ObjectInfo{}, fmt.Errorf("%w: empty key", ErrBadRequest)
+	}
+	if int64(len(data)) > g.cfg.MaxObjectBytes {
+		return ObjectInfo{}, fmt.Errorf("%w: %d bytes > limit %d", ErrTooLarge, len(data), g.cfg.MaxObjectBytes)
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+
+	width := g.cfg.K + g.cfg.M
+	osds, err := g.placer.Place(key)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("service: placement: %w", err)
+	}
+	// Generation-stamped backend key: a fresh name per PUT, so overwrites
+	// never mutate the live object's shards in place (the stamp cannot
+	// collide with a user key — it always ends in "@<number>").
+	skey := fmt.Sprintf("%s@%d", key, g.gen.Add(1))
+
+	// Stripe through the zero-copy stream path into k+m shard buffers.
+	shards := make([]bytes.Buffer, width)
+	writers := make([]io.Writer, width)
+	shardCap := int(g.shardLen(int64(len(data))))
+	for i := range shards {
+		shards[i].Grow(shardCap)
+		writers[i] = &shards[i]
+	}
+	if len(data) > 0 {
+		if _, err := g.code.StreamEncode(bytes.NewReader(data), writers, g.cfg.ChunkSize); err != nil {
+			return ObjectInfo{}, fmt.Errorf("service: encode: %w", err)
+		}
+	}
+
+	// Fan out shard writes, each under its own deadline.
+	errs := make([]error, width)
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = g.shardOp(ctx, osds[i], func(c context.Context) error {
+				return g.stores[osds[i]].Put(c, skey, i, shards[i].Bytes())
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	ok := make([]bool, width)
+	written := 0
+	for i, e := range errs {
+		if e == nil {
+			ok[i] = true
+			written++
+		} else {
+			g.reg.Counter(`ecgate_shard_errors_total{op="put"}`).Inc()
+		}
+	}
+	if written < g.cfg.K {
+		// Not durable: roll back this generation's shards. The previous
+		// object generation (if any) is untouched and stays readable.
+		for i := range ok {
+			if ok[i] {
+				i := i
+				_ = g.shardOp(ctx, osds[i], func(c context.Context) error {
+					return g.stores[osds[i]].Delete(c, skey, i)
+				})
+			}
+		}
+		return ObjectInfo{}, fmt.Errorf("%w: %d of %d shard writes landed, need %d",
+			ErrInsufficientShards, written, width, g.cfg.K)
+	}
+	if written < width {
+		g.reg.Counter("ecgate_degraded_writes_total").Inc()
+	}
+
+	meta := &objectMeta{size: int64(len(data)), skey: skey, osds: osds, ok: ok}
+	g.mu.Lock()
+	old := g.objects[key]
+	if old != nil {
+		g.stored -= old.size
+	}
+	g.objects[key] = meta
+	g.stored += meta.size
+	objs := len(g.objects)
+	stored := g.stored
+	g.mu.Unlock()
+	if old != nil {
+		// Best-effort cleanup of the superseded generation's shards.
+		g.deleteShards(ctx, old, "put")
+	}
+	g.reg.Gauge("ecgate_objects").Set(int64(objs))
+	g.reg.Gauge("ecgate_bytes_stored").Set(stored)
+	g.reg.Counter("ecgate_bytes_in_total").Add(int64(len(data)))
+
+	return ObjectInfo{Key: key, Size: meta.size, Shards: width, Written: written, OSDs: osds}, nil
+}
+
+// fetchResult carries one shard fetch outcome.
+type fetchResult struct {
+	idx  int
+	data []byte
+	err  error
+}
+
+// deleteShards removes every landed shard of one object generation, best
+// effort (down OSDs and already-gone shards are not errors).
+func (g *Gateway) deleteShards(ctx context.Context, meta *objectMeta, op string) {
+	var wg sync.WaitGroup
+	for i := range meta.ok {
+		if !meta.ok[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := g.shardOp(ctx, meta.osds[i], func(c context.Context) error {
+				return g.stores[meta.osds[i]].Delete(c, meta.skey, i)
+			})
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				g.reg.Counter(fmt.Sprintf("ecgate_shard_errors_total{op=%q}", op)).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// fetchWave fetches the given shard indices concurrently, each under the
+// per-shard deadline, validating lengths against the expected shard size.
+func (g *Gateway) fetchWave(ctx context.Context, key string, meta *objectMeta, idxs []int, want int64) []fetchResult {
+	out := make([]fetchResult, len(idxs))
+	var wg sync.WaitGroup
+	for n, i := range idxs {
+		wg.Add(1)
+		go func(n, i int) {
+			defer wg.Done()
+			var data []byte
+			err := g.shardOp(ctx, meta.osds[i], func(c context.Context) error {
+				var e error
+				data, e = g.stores[meta.osds[i]].Get(c, key, i)
+				return e
+			})
+			if err == nil && int64(len(data)) != want {
+				err = fmt.Errorf("service: shard %d length %d, want %d", i, len(data), want)
+			}
+			out[n] = fetchResult{idx: i, data: data, err: err}
+		}(n, i)
+	}
+	wg.Wait()
+	return out
+}
+
+// GetObject reads an object back. The k data shards are fetched first;
+// any that are missing, down, slow past the shard deadline, or
+// wrong-length are replaced by parity shards and the payload is rebuilt
+// through StreamDecode — a degraded read. Fewer than k reachable shards
+// is ErrInsufficientShards.
+func (g *Gateway) GetObject(ctx context.Context, key string) ([]byte, GetInfo, error) {
+	if !g.admit() {
+		return nil, GetInfo{}, ErrOverloaded
+	}
+	defer g.release()
+	g.mu.RLock()
+	meta, exists := g.objects[key]
+	g.mu.RUnlock()
+	if !exists {
+		return nil, GetInfo{}, ErrNotFound
+	}
+	if meta.size == 0 {
+		return []byte{}, GetInfo{}, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+
+	width := g.cfg.K + g.cfg.M
+	want := g.shardLen(meta.size)
+	have := make([][]byte, width)
+	got, shardErrs := 0, 0
+
+	// Wave 1: the data shards that were written.
+	var wave []int
+	for i := 0; i < g.cfg.K; i++ {
+		if meta.ok[i] {
+			wave = append(wave, i)
+		}
+	}
+	for _, r := range g.fetchWave(ctx, meta.skey, meta, wave, want) {
+		if r.err != nil {
+			shardErrs++
+			continue
+		}
+		have[r.idx] = r.data
+		got++
+	}
+
+	// Parity waves: replace every missing data shard, walking the parity
+	// candidates in order until k streams are in hand or none remain.
+	next := g.cfg.K
+	for got < g.cfg.K && next < width {
+		wave = wave[:0]
+		for i := next; i < width && len(wave) < g.cfg.K-got; i++ {
+			next = i + 1
+			if meta.ok[i] {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+		for _, r := range g.fetchWave(ctx, meta.skey, meta, wave, want) {
+			if r.err != nil {
+				shardErrs++
+				continue
+			}
+			have[r.idx] = r.data
+			got++
+		}
+	}
+	if got < g.cfg.K {
+		g.reg.Counter("ecgate_failed_reads_total").Inc()
+		g.reg.Counter(`ecgate_shard_errors_total{op="get"}`).Add(int64(shardErrs))
+		return nil, GetInfo{ShardErrors: shardErrs},
+			fmt.Errorf("%w: %d of %d shards fetched, need %d", ErrInsufficientShards, got, width, g.cfg.K)
+	}
+
+	// Rebuild the payload. Missing data shards (nil readers) are
+	// reconstructed from parity inside StreamDecode's per-stream plan.
+	reconstructed := 0
+	for d := 0; d < g.cfg.K; d++ {
+		if have[d] == nil {
+			reconstructed++
+		}
+	}
+	readers := make([]io.Reader, width)
+	for i, b := range have {
+		if b != nil {
+			readers[i] = bytes.NewReader(b)
+		}
+	}
+	var out bytes.Buffer
+	out.Grow(int(meta.size))
+	if err := g.code.StreamDecode(&out, readers, meta.size, g.cfg.ChunkSize); err != nil {
+		return nil, GetInfo{ShardErrors: shardErrs}, fmt.Errorf("service: decode: %w", err)
+	}
+
+	info := GetInfo{Size: meta.size, Degraded: reconstructed > 0, Reconstructed: reconstructed, ShardErrors: shardErrs}
+	if info.Degraded {
+		g.reg.Counter("ecgate_degraded_reads_total").Inc()
+		g.reg.Counter("ecgate_reconstructed_shards_total").Add(int64(reconstructed))
+	}
+	if shardErrs > 0 {
+		g.reg.Counter(`ecgate_shard_errors_total{op="get"}`).Add(int64(shardErrs))
+	}
+	g.reg.Counter("ecgate_bytes_out_total").Add(meta.size)
+	return out.Bytes(), info, nil
+}
+
+// DeleteObject removes the object's shards (best effort on down OSDs) and
+// forgets it; a subsequent GET is ErrNotFound.
+func (g *Gateway) DeleteObject(ctx context.Context, key string) error {
+	if !g.admit() {
+		return ErrOverloaded
+	}
+	defer g.release()
+	g.mu.Lock()
+	meta, exists := g.objects[key]
+	if exists {
+		delete(g.objects, key)
+		g.stored -= meta.size
+		g.reg.Gauge("ecgate_objects").Set(int64(len(g.objects)))
+		g.reg.Gauge("ecgate_bytes_stored").Set(g.stored)
+	}
+	g.mu.Unlock()
+	if !exists {
+		return ErrNotFound
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+	g.deleteShards(ctx, meta, "delete")
+	return nil
+}
+
+// StatusInfo is the /v1/status document.
+type StatusInfo struct {
+	Scheme          string  `json:"scheme"`
+	Backend         string  `json:"backend"`
+	ChunkSize       int     `json:"chunk_size"`
+	Objects         int     `json:"objects"`
+	BytesStored     int64   `json:"bytes_stored"`
+	OSDs            int     `json:"osds"`
+	OSDsDown        int     `json:"osds_down"`
+	DegradedReads   int64   `json:"degraded_reads"`
+	Reconstructions int64   `json:"reconstructed_shards"`
+	AdmissionDrops  int64   `json:"admission_rejected"`
+	SimSeconds      float64 `json:"sim_seconds,omitempty"`
+}
+
+// Status snapshots the gateway.
+func (g *Gateway) Status() StatusInfo {
+	g.mu.RLock()
+	objs, stored := len(g.objects), g.stored
+	g.mu.RUnlock()
+	down := 0
+	for i := range g.health {
+		g.health[i].mu.Lock()
+		if g.health[i].down {
+			down++
+		}
+		g.health[i].mu.Unlock()
+	}
+	st := StatusInfo{
+		Scheme:          fmt.Sprintf("RS(%d,%d)", g.cfg.K, g.cfg.M),
+		Backend:         g.cfg.Backend,
+		ChunkSize:       g.cfg.ChunkSize,
+		Objects:         objs,
+		BytesStored:     stored,
+		OSDs:            len(g.stores),
+		OSDsDown:        down,
+		DegradedReads:   g.reg.Counter("ecgate_degraded_reads_total").Value(),
+		Reconstructions: g.reg.Counter("ecgate_reconstructed_shards_total").Value(),
+		AdmissionDrops:  g.reg.Counter("ecgate_admission_rejected_total").Value(),
+	}
+	if g.cfg.Sim != nil {
+		st.SimSeconds = g.cfg.Sim.SimSeconds()
+	}
+	return st
+}
+
+// OSDStatus is one row of /v1/osds: the backend's self-reported stat
+// merged with the gateway's health view.
+type OSDStatus struct {
+	OSDStat
+	Down    bool   `json:"gateway_down"`
+	Fails   int    `json:"consecutive_fails"`
+	LastErr string `json:"last_error,omitempty"`
+	Error   string `json:"stat_error,omitempty"`
+}
+
+// OSDStatuses stats every OSD (short per-OSD deadline).
+func (g *Gateway) OSDStatuses(ctx context.Context) []OSDStatus {
+	out := make([]OSDStatus, len(g.stores))
+	var wg sync.WaitGroup
+	for i := range g.stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
+			defer cancel()
+			st, err := g.stores[i].Stat(sctx)
+			if err != nil {
+				out[i].OSDStat = OSDStat{ID: i}
+				out[i].Error = err.Error()
+			} else {
+				out[i].OSDStat = st
+			}
+			h := &g.health[i]
+			h.mu.Lock()
+			out[i].Down = h.down
+			out[i].Fails = h.consec
+			out[i].LastErr = h.lastErr
+			h.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpStatus maps gateway errors onto status codes and Retry-After hints.
+func httpStatus(err error) (code int, retryAfter string) {
+	switch {
+	case err == nil:
+		return http.StatusOK, ""
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, ""
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "1"
+	case errors.Is(err, ErrInsufficientShards):
+		return http.StatusServiceUnavailable, "2"
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, ""
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, ""
+	default:
+		return http.StatusInternalServerError, ""
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) int {
+	code, retry := httpStatus(err)
+	if retry != "" {
+		w.Header().Set("Retry-After", retry)
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+	return code
+}
+
+// Handler returns the gateway's HTTP surface:
+//
+//	PUT    /v1/objects/{key}   store an object (body = payload)
+//	GET    /v1/objects/{key}   read it back (degraded reads transparent)
+//	DELETE /v1/objects/{key}   remove it
+//	GET    /v1/status          gateway + cluster summary
+//	GET    /v1/osds            per-OSD stat + gateway health view
+//	POST   /v1/osds/{id}/fail     kill an OSD (fault-injecting backends)
+//	POST   /v1/osds/{id}/restore  revive it
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            liveness
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("PUT /v1/objects/{key...}", func(w http.ResponseWriter, r *http.Request) {
+		g.serveObject(w, r, "put")
+	})
+	mux.HandleFunc("GET /v1/objects/{key...}", func(w http.ResponseWriter, r *http.Request) {
+		g.serveObject(w, r, "get")
+	})
+	mux.HandleFunc("DELETE /v1/objects/{key...}", func(w http.ResponseWriter, r *http.Request) {
+		g.serveObject(w, r, "delete")
+	})
+
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, g.Status())
+	})
+	mux.HandleFunc("GET /v1/osds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, g.OSDStatuses(r.Context()))
+	})
+	mux.HandleFunc("POST /v1/osds/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+		g.serveFault(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/osds/{id}/restore", func(w http.ResponseWriter, r *http.Request) {
+		g.serveFault(w, r, false)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = g.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// serveFault handles the kill/revive admin endpoints.
+func (g *Gateway) serveFault(w http.ResponseWriter, r *http.Request, fail bool) {
+	if g.cfg.Faults == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "backend has no fault injector"})
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad osd id"})
+		return
+	}
+	if fail {
+		err = g.cfg.Faults.FailOSD(id)
+	} else {
+		err = g.cfg.Faults.RestoreOSD(id)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	action := "restored"
+	if fail {
+		action = "failed"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"osd": id, "state": action})
+}
+
+// serveObject is the object data path: admission, the op itself, then one
+// structured log line and the per-op metrics.
+func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string) {
+	start := time.Now()
+	key := r.PathValue("key")
+	var (
+		status  int
+		bytesN  int64
+		info    GetInfo
+		written int
+		opErr   error
+	)
+	switch op {
+	case "put":
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxObjectBytes+1))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				opErr = fmt.Errorf("%w: body over %d bytes", ErrTooLarge, g.cfg.MaxObjectBytes)
+			} else {
+				opErr = fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
+			}
+			status = writeError(w, opErr)
+			break
+		}
+		oi, err := g.PutObject(r.Context(), key, body)
+		if err != nil {
+			opErr = err
+			status = writeError(w, err)
+			break
+		}
+		bytesN, written, status = oi.Size, oi.Written, http.StatusOK
+		writeJSON(w, http.StatusOK, oi)
+	case "get":
+		var data []byte
+		data, info, opErr = g.GetObject(r.Context(), key)
+		if opErr != nil {
+			status = writeError(w, opErr)
+			break
+		}
+		bytesN, status = int64(len(data)), http.StatusOK
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		if info.Degraded {
+			w.Header().Set("X-EC-Degraded", "true")
+			w.Header().Set("X-EC-Reconstructed", strconv.Itoa(info.Reconstructed))
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case "delete":
+		if opErr = g.DeleteObject(r.Context(), key); opErr != nil {
+			status = writeError(w, opErr)
+			break
+		}
+		status = http.StatusNoContent
+		w.WriteHeader(http.StatusNoContent)
+	}
+
+	dur := time.Since(start)
+	g.reg.Counter(fmt.Sprintf("ecgate_requests_total{op=%q,code=\"%d\"}", op, status)).Inc()
+	g.reg.Histogram(fmt.Sprintf("ecgate_request_seconds{op=%q}", op)).Observe(dur)
+
+	attrs := []slog.Attr{
+		slog.String("op", op),
+		slog.String("key", key),
+		slog.Int("status", status),
+		slog.Int64("bytes", bytesN),
+		slog.Float64("ms", float64(dur.Microseconds())/1e3),
+	}
+	if op == "get" && info.Degraded {
+		attrs = append(attrs,
+			slog.Bool("degraded", true),
+			slog.Int("reconstructed", info.Reconstructed),
+			slog.Int("shard_errors", info.ShardErrors))
+	}
+	if op == "put" && written > 0 && written < g.cfg.K+g.cfg.M {
+		attrs = append(attrs, slog.Int("written_shards", written))
+	}
+	if opErr != nil {
+		attrs = append(attrs, slog.String("error", opErr.Error()))
+	}
+	g.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}

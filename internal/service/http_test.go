@@ -1,0 +1,360 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"ecarray/internal/crush"
+)
+
+// simService boots a gateway over a fresh virtual cluster behind a real
+// HTTP server, returning the client and the cluster's fault injector.
+func simService(t *testing.T, mutate func(*GatewayConfig)) (*GateClient, *SimCluster, *Gateway) {
+	t.Helper()
+	gw, vc := newSimGateway(t, mutate)
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+	return NewGateClient(srv.URL), vc, gw
+}
+
+// metricValue scrapes one plain counter/gauge value out of an exposition.
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in exposition", name)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatalf("metric %s: %v", name, err)
+	}
+	return v
+}
+
+// TestServiceE2E is the acceptance flow over real HTTP: put an object,
+// kill one OSD, read it back degraded and byte-identical, delete it, and
+// watch the degraded-read and reconstruction counters move on /metrics.
+// The whole flow is repeated on a second identically-seeded cluster and
+// must behave identically (placement, counters, payloads).
+func TestServiceE2E(t *testing.T) {
+	type outcome struct {
+		osds    []int
+		degr    int64
+		recon   int64
+		payload []byte
+	}
+	run := func(t *testing.T) outcome {
+		gc, _, _ := simService(t, nil)
+		ctx := context.Background()
+		data := payload(700<<10+321, 42)
+
+		oi, err := gc.PutObject(ctx, "e2e/obj", data)
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		got, degraded, err := gc.GetObject(ctx, "e2e/obj")
+		if err != nil || degraded || !bytes.Equal(got, data) {
+			t.Fatalf("healthy get: err=%v degraded=%v match=%v", err, degraded, bytes.Equal(got, data))
+		}
+
+		// Kill the OSD holding data shard 0 through the admin endpoint.
+		if err := gc.FailOSD(ctx, oi.OSDs[0]); err != nil {
+			t.Fatalf("fail osd: %v", err)
+		}
+		got, degraded, err = gc.GetObject(ctx, "e2e/obj")
+		if err != nil {
+			t.Fatalf("degraded get: %v", err)
+		}
+		if !degraded {
+			t.Fatal("get after OSD kill not marked degraded")
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("degraded get: payload mismatch")
+		}
+
+		metrics, err := gc.MetricsText(ctx)
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		degr := metricValue(t, metrics, "ecgate_degraded_reads_total")
+		recon := metricValue(t, metrics, "ecgate_reconstructed_shards_total")
+		if degr < 1 || recon < 1 {
+			t.Fatalf("counters: degraded=%d reconstructed=%d, want >= 1", degr, recon)
+		}
+
+		st, err := gc.Status(ctx)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.DegradedReads != degr || st.Objects != 1 {
+			t.Fatalf("status %+v inconsistent with metrics (degraded=%d)", st, degr)
+		}
+
+		if err := gc.DeleteObject(ctx, "e2e/obj"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if _, _, err := gc.GetObject(ctx, "e2e/obj"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get after delete: got %v, want ErrNotFound", err)
+		}
+		return outcome{osds: oi.OSDs, degr: degr, recon: recon, payload: got}
+	}
+
+	a := run(t)
+	b := run(t)
+	if fmt.Sprint(a.osds) != fmt.Sprint(b.osds) {
+		t.Fatalf("placement not deterministic: %v vs %v", a.osds, b.osds)
+	}
+	if a.degr != b.degr || a.recon != b.recon {
+		t.Fatalf("counters not deterministic: (%d,%d) vs (%d,%d)", a.degr, a.recon, b.degr, b.recon)
+	}
+	if !bytes.Equal(a.payload, b.payload) {
+		t.Fatal("degraded payloads differ across identically-seeded runs")
+	}
+}
+
+// TestHTTPErrorMapping drives each error path over real HTTP and checks
+// status codes and Retry-After headers.
+func TestHTTPErrorMapping(t *testing.T) {
+	gc, vc, gw := simService(t, func(cfg *GatewayConfig) {
+		cfg.MaxObjectBytes = 1 << 20
+	})
+	ctx := context.Background()
+
+	// 404: never-written key, and again after delete.
+	if _, _, err := gc.GetObject(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: got %v, want ErrNotFound", err)
+	}
+	if _, err := gc.PutObject(ctx, "tmp", payload(4096, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.DeleteObject(ctx, "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.DeleteObject(ctx, "tmp"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: got %v, want ErrNotFound", err)
+	}
+
+	// 413: object over the body limit.
+	var se *StatusError
+	_, err := gc.PutObject(ctx, "big", payload(1<<20+1, 2))
+	if !errors.As(err, &se) || se.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized put: got %v, want 413", err)
+	}
+
+	// 503 + Retry-After: 2 when fewer than k shards are reachable: fail
+	// enough OSDs that fewer than k stay alive cluster-wide.
+	if _, err := gc.PutObject(ctx, "stuck", payload(64<<10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < vc.OSDs()-gw.cfg.K+1; id++ {
+		if err := vc.FailOSD(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err = gc.GetObject(ctx, "stuck")
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("get with <k reachable: got %v, want 503", err)
+	}
+	if se.RetryAfter != "2" {
+		t.Fatalf("503 Retry-After = %q, want \"2\"", se.RetryAfter)
+	}
+	_, err = gc.PutObject(ctx, "newobj", payload(4096, 4))
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("put with <k reachable: got %v, want 503", err)
+	}
+	for id := 0; id < vc.OSDs(); id++ {
+		_ = vc.RestoreOSD(id)
+	}
+
+	// 400: empty key (PUT /v1/objects/ matches the {key...} wildcard with
+	// an empty value).
+	_, err = gc.PutObject(ctx, "", payload(16, 5))
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("empty-key put: got %v, want 400", err)
+	}
+}
+
+// TestHTTPOverload checks the 429 + Retry-After mapping end to end using
+// a gateway whose single admission slot is held by a parked request.
+func TestHTTPOverload(t *testing.T) {
+	stores := make([]ShardStore, 6)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce sync.Once
+	enter := func() { enterOnce.Do(func() { close(entered) }) }
+	for i := range stores {
+		stores[i] = &blockStore{MemStore: NewMemStore(i), enter: enter, release: release}
+	}
+	placer, err := NewPlacer(crush.Uniform(3, 2), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.MaxInflight = 1
+	gw, err := NewGateway(cfg, stores, placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+	gc := NewGateClient(srv.URL)
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := gc.PutObject(ctx, "slow", payload(4096, 1))
+		done <- err
+	}()
+	<-entered
+
+	var se *StatusError
+	_, err = gc.PutObject(ctx, "rejected", payload(4096, 2))
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded put: got %v, want 429", err)
+	}
+	if se.RetryAfter != "1" {
+		t.Fatalf("429 Retry-After = %q, want \"1\"", se.RetryAfter)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked put: %v", err)
+	}
+}
+
+// TestOSDServerRoundTrip exercises the ecstored HTTP surface through
+// OSDClient: put/get/stat/delete plus the 404 and 503 mappings.
+func TestOSDServerRoundTrip(t *testing.T) {
+	ms := NewMemStore(3)
+	ms.SetHost("node3")
+	srv := httptest.NewServer(NewOSDServer(3, ms, nil).Handler())
+	t.Cleanup(srv.Close)
+	oc := NewOSDClient(3, srv.URL)
+	ctx := context.Background()
+
+	shard := payload(32<<10, 9)
+	if err := oc.Put(ctx, "a/b c#d", 2, shard); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := oc.Get(ctx, "a/b c#d", 2)
+	if err != nil || !bytes.Equal(got, shard) {
+		t.Fatalf("get: err=%v match=%v", err, bytes.Equal(got, shard))
+	}
+	st, err := oc.Stat(ctx)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if st.ID != 3 || st.Backend != "mem" || st.Host != "node3" || st.Shards != 1 {
+		t.Fatalf("stat: %+v", st)
+	}
+	if _, err := oc.Get(ctx, "a/b c#d", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing shard: got %v, want ErrNotFound", err)
+	}
+	if err := oc.Delete(ctx, "a/b c#d", 2); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := oc.Get(ctx, "a/b c#d", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: got %v, want ErrNotFound", err)
+	}
+
+	ms.Fail()
+	if _, err := oc.Get(ctx, "x", 0); !errors.Is(err, ErrOSDDown) {
+		t.Fatalf("failed OSD: got %v, want ErrOSDDown", err)
+	}
+}
+
+// TestGatewayOverOSDDaemons wires a full mini service: six ecstored
+// daemons behind OSDClients, a gateway placing across them, and a
+// degraded read after one daemon is torn down.
+func TestGatewayOverOSDDaemons(t *testing.T) {
+	stores := make([]ShardStore, 6)
+	servers := make([]*httptest.Server, 6)
+	for i := range stores {
+		ms := NewMemStore(i)
+		ms.SetHost(fmt.Sprintf("node%d", i))
+		servers[i] = httptest.NewServer(NewOSDServer(i, ms, nil).Handler())
+		t.Cleanup(servers[i].Close)
+		stores[i] = NewOSDClient(i, servers[i].URL)
+	}
+	placer, err := NewPlacer(crush.Uniform(6, 1), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGatewayConfig()
+	cfg.Backend = "osd"
+	gw, err := NewGateway(cfg, stores, placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := payload(256<<10+77, 6)
+	oi, err := gw.PutObject(ctx, "remote", data)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// Tear down the daemon behind data shard 0: connection refused, which
+	// the client maps to ErrOSDDown and the gateway reconstructs around.
+	servers[oi.OSDs[0]].Close()
+	got, info, err := gw.GetObject(ctx, "remote")
+	if err != nil {
+		t.Fatalf("degraded get: %v", err)
+	}
+	if !info.Degraded || !bytes.Equal(got, data) {
+		t.Fatalf("degraded get: info=%+v match=%v", info, bytes.Equal(got, data))
+	}
+}
+
+// TestMetricsExposition checks the Prometheus text rendering: counters,
+// gauges, labelled histograms with cumulative buckets, deterministic order.
+func TestMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Add(3)
+	reg.Gauge("a_gauge").Set(-2)
+	h := reg.Histogram(`req_seconds{op="get"}`)
+	h.Observe(700 * 1000)  // 0.7ms
+	h.Observe(70 * 100000) // 7ms
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	var prev string
+	for _, want := range []string{
+		"a_gauge -2\n",
+		"b_total 3\n",
+		`req_seconds_bucket{op="get",le="0.001"} 1` + "\n",
+		`req_seconds_bucket{op="get",le="0.01"} 2` + "\n",
+		`req_seconds_bucket{op="get",le="+Inf"} 2` + "\n",
+		`req_seconds_count{op="get"} 2` + "\n",
+	} {
+		idx := strings.Index(text, want)
+		if idx < 0 {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+		if prev != "" && idx < strings.Index(text, prev) {
+			t.Fatalf("series out of order: %q before %q", want, prev)
+		}
+		prev = want
+	}
+	// Unlabelled histograms must not render empty label braces.
+	reg2 := NewRegistry()
+	reg2.Histogram("plain_seconds").Observe(1000)
+	buf.Reset()
+	_ = reg2.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "{}") {
+		t.Fatalf("empty label braces in exposition:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "plain_seconds_count 1\n") {
+		t.Fatalf("plain histogram count missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// MaxShardBytes bounds one shard body on the OSD daemon (a gateway chunk
+// stream for a max-size object comfortably fits).
+const MaxShardBytes = 128 << 20
+
+// OSDServer is the ecstored daemon's HTTP surface over one ShardStore:
+// the BlobNode of the service split. It is store-agnostic — the same
+// handler serves the in-memory backend and a simulated BlueStore OSD.
+type OSDServer struct {
+	id    int
+	store ShardStore
+	log   *slog.Logger
+	reg   *Registry
+}
+
+// NewOSDServer wraps a shard store for OSD id.
+func NewOSDServer(id int, store ShardStore, logger *slog.Logger) *OSDServer {
+	if logger == nil {
+		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return &OSDServer{id: id, store: store, log: logger, reg: NewRegistry()}
+}
+
+// Metrics returns the daemon's registry.
+func (s *OSDServer) Metrics() *Registry { return s.reg }
+
+// Handler returns the daemon's routes:
+//
+//	PUT    /v1/shards/{key}/{idx}  store one shard (body = shard bytes)
+//	GET    /v1/shards/{key}/{idx}  read it
+//	DELETE /v1/shards/{key}/{idx}  remove it
+//	GET    /v1/stat                backend stat
+//	GET    /metrics                Prometheus text exposition
+//	GET    /healthz                liveness
+func (s *OSDServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/shards/{key}/{idx}", func(w http.ResponseWriter, r *http.Request) {
+		s.serveShard(w, r, "put")
+	})
+	mux.HandleFunc("GET /v1/shards/{key}/{idx}", func(w http.ResponseWriter, r *http.Request) {
+		s.serveShard(w, r, "get")
+	})
+	mux.HandleFunc("DELETE /v1/shards/{key}/{idx}", func(w http.ResponseWriter, r *http.Request) {
+		s.serveShard(w, r, "delete")
+	})
+	mux.HandleFunc("GET /v1/stat", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.store.Stat(r.Context())
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// shardStatus maps store errors onto daemon status codes. ErrOSDDown maps
+// to 503 so the gateway-side client can translate it back.
+func shardStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOSDDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *OSDServer) serveShard(w http.ResponseWriter, r *http.Request, op string) {
+	start := time.Now()
+	key := r.PathValue("key")
+	idx, idxErr := strconv.Atoi(r.PathValue("idx"))
+	var (
+		status int
+		n      int64
+		opErr  error
+	)
+	switch {
+	case key == "" || idxErr != nil || idx < 0:
+		status = http.StatusBadRequest
+		writeJSON(w, status, errorBody{Error: "bad shard path: want /v1/shards/{key}/{idx}"})
+	case op == "put":
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxShardBytes))
+		if err != nil {
+			status = http.StatusRequestEntityTooLarge
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			break
+		}
+		opErr = s.store.Put(r.Context(), key, idx, body)
+		status = shardStatus(opErr)
+		if opErr != nil {
+			writeJSON(w, status, errorBody{Error: opErr.Error()})
+			break
+		}
+		n = int64(len(body))
+		s.reg.Counter("ecstored_bytes_in_total").Add(n)
+		w.WriteHeader(http.StatusOK)
+	case op == "get":
+		var data []byte
+		data, opErr = s.store.Get(r.Context(), key, idx)
+		status = shardStatus(opErr)
+		if opErr != nil {
+			writeJSON(w, status, errorBody{Error: opErr.Error()})
+			break
+		}
+		n = int64(len(data))
+		s.reg.Counter("ecstored_bytes_out_total").Add(n)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case op == "delete":
+		opErr = s.store.Delete(r.Context(), key, idx)
+		status = shardStatus(opErr)
+		if opErr != nil {
+			writeJSON(w, status, errorBody{Error: opErr.Error()})
+			break
+		}
+		status = http.StatusNoContent
+		w.WriteHeader(http.StatusNoContent)
+	}
+	s.reg.Counter(fmt.Sprintf("ecstored_ops_total{op=%q,code=\"%d\"}", op, status)).Inc()
+	s.reg.Histogram(fmt.Sprintf("ecstored_op_seconds{op=%q}", op)).Observe(time.Since(start))
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "shard",
+		slog.String("op", op), slog.String("key", key), slog.Int("idx", idx),
+		slog.Int("status", status), slog.Int64("bytes", n),
+		slog.Float64("ms", float64(time.Since(start).Microseconds())/1e3))
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors shared by every ShardStore implementation. The HTTP
+// layers map them to status codes (404, 503) and back, so the gateway's
+// behaviour is identical across in-process and remote backends.
+var (
+	// ErrNotFound reports a shard (or object) that does not exist.
+	ErrNotFound = errors.New("service: not found")
+	// ErrOSDDown reports an OSD that is administratively failed or
+	// unreachable.
+	ErrOSDDown = errors.New("service: osd down")
+)
+
+// OSDStat is one OSD backend's self-reported state, surfaced on the
+// daemon's /v1/stat and the gateway's /v1/osds.
+type OSDStat struct {
+	ID      int    `json:"id"`
+	Backend string `json:"backend"`
+	Host    string `json:"host,omitempty"`
+	Up      bool   `json:"up"`
+	Shards  int64  `json:"shards"`
+	Bytes   int64  `json:"bytes"`
+	// SimSeconds is the simulated-time cost this OSD has accumulated
+	// serving shard ops (virtual-cluster backend only).
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+}
+
+// ShardStore is the seam between the access gateway and one OSD's shard
+// storage: the BlobNode-facing contract. Implementations must be safe for
+// concurrent use and must honour ctx cancellation at least between ops.
+type ShardStore interface {
+	// Put stores one shard of an object, overwriting any previous bytes.
+	Put(ctx context.Context, key string, shard int, data []byte) error
+	// Get returns the shard's bytes, ErrNotFound if absent.
+	Get(ctx context.Context, key string, shard int) ([]byte, error)
+	// Delete removes the shard; deleting an absent shard returns
+	// ErrNotFound (callers that want idempotence ignore it).
+	Delete(ctx context.Context, key string, shard int) error
+	// Stat reports the OSD's state.
+	Stat(ctx context.Context) (OSDStat, error)
+}
+
+// FaultInjector is implemented by backends that can kill and revive their
+// OSDs at runtime (the virtual cluster). The gateway exposes it as admin
+// endpoints so service tests and smoke drivers can force degraded reads.
+type FaultInjector interface {
+	FailOSD(id int) error
+	RestoreOSD(id int) error
+}
+
+// shardName is the canonical backend object name for (key, shard).
+func shardName(key string, shard int) string {
+	return fmt.Sprintf("%s#%d", key, shard)
+}
+
+// MemStore is a mutex-guarded in-memory ShardStore: the default ecstored
+// backend and the cheapest test double.
+type MemStore struct {
+	id   int
+	host string
+
+	mu     sync.RWMutex
+	shards map[string][]byte
+	bytes  int64
+	failed bool
+}
+
+// NewMemStore returns an empty in-memory shard store for OSD id.
+func NewMemStore(id int) *MemStore {
+	return &MemStore{id: id, shards: map[string][]byte{}}
+}
+
+// SetHost labels the store with a host name (placement display only).
+func (s *MemStore) SetHost(h string) { s.host = h }
+
+// Fail makes every subsequent op return ErrOSDDown (test hook).
+func (s *MemStore) Fail() {
+	s.mu.Lock()
+	s.failed = true
+	s.mu.Unlock()
+}
+
+// Restore clears Fail.
+func (s *MemStore) Restore() {
+	s.mu.Lock()
+	s.failed = false
+	s.mu.Unlock()
+}
+
+func (s *MemStore) check(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.failed {
+		return ErrOSDDown
+	}
+	return nil
+}
+
+// Put implements ShardStore.
+func (s *MemStore) Put(ctx context.Context, key string, shard int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	name := shardName(key, shard)
+	if old, ok := s.shards[name]; ok {
+		s.bytes -= int64(len(old))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.shards[name] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get implements ShardStore.
+func (s *MemStore) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	data, ok := s.shards[shardName(key, shard)]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements ShardStore.
+func (s *MemStore) Delete(ctx context.Context, key string, shard int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx); err != nil {
+		return err
+	}
+	name := shardName(key, shard)
+	data, ok := s.shards[name]
+	if !ok {
+		return ErrNotFound
+	}
+	s.bytes -= int64(len(data))
+	delete(s.shards, name)
+	return nil
+}
+
+// Stat implements ShardStore.
+func (s *MemStore) Stat(ctx context.Context) (OSDStat, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return OSDStat{}, err
+	}
+	return OSDStat{
+		ID:      s.id,
+		Backend: "mem",
+		Host:    s.host,
+		Up:      !s.failed,
+		Shards:  int64(len(s.shards)),
+		Bytes:   s.bytes,
+	}, nil
+}
+
+// Keys returns the stored shard names in sorted order (test helper).
+func (s *MemStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
