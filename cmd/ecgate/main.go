@@ -46,8 +46,10 @@ func main() {
 		chunk       = flag.Int("chunk", 64<<10, "stripe-unit (per-shard chunk) bytes")
 		maxInflight = flag.Int("max-inflight", 256, "admission bound; excess requests get 429")
 		osdURLs     = flag.String("osd-urls", "", "osd backend / smoke: comma-separated ecstored base URLs")
+		metaDir     = flag.String("meta-dir", "", "metadata WAL directory (empty = volatile in-memory index)")
 
 		smoke = flag.Bool("smoke", false, "run the smoke driver against -url instead of serving")
+		chaos = flag.Bool("chaos", false, "smoke: add the chaos leg (fault injection, hedges, breaker trip)")
 		url   = flag.String("url", "http://127.0.0.1:7310", "smoke: gateway base URL")
 	)
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	if *smoke {
-		if err := runSmoke(*url, splitURLs(*osdURLs), logger); err != nil {
+		if err := runSmoke(*url, splitURLs(*osdURLs), *chaos, logger); err != nil {
 			logger.Error("smoke failed", "error", err.Error())
 			os.Exit(1)
 		}
@@ -69,6 +71,8 @@ func main() {
 	cfg.MaxInflight = *maxInflight
 	cfg.Logger = logger
 	cfg.Backend = *backend
+	cfg.MetaDir = *metaDir
+	cfg.Seed = *seed
 
 	var (
 		stores []service.ShardStore
@@ -159,7 +163,8 @@ func (f memFaults) RestoreOSD(id int) error {
 
 // runSmoke is the CI smoke driver: object round trip, forced degraded
 // read, delete, plus a direct shard round trip against each ecstored URL.
-func runSmoke(gateURL string, osdURLs []string, logger *slog.Logger) error {
+// With chaos set it finishes with the fault-injection leg.
+func runSmoke(gateURL string, osdURLs []string, chaos bool, logger *slog.Logger) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
@@ -265,5 +270,128 @@ func runSmoke(gateURL string, osdURLs []string, logger *slog.Logger) error {
 		}
 		logger.Info("ecstored round trip ok", "url", u, "backend", stat.Backend)
 	}
+
+	if chaos {
+		if err := runChaos(ctx, gc, logger); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+	}
+	return nil
+}
+
+// runChaos drives the gateway through injected shard faults: transient
+// errors and stalls on two OSDs must stay invisible to clients (every GET
+// byte-identical, zero object-op failures), a partition must trip that
+// OSD's breaker, and the retry/hedge/breaker counters must move.
+func runChaos(ctx context.Context, gc *service.GateClient, logger *slog.Logger) error {
+	st, err := gc.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	if st.OSDs < 3 {
+		return fmt.Errorf("need >=3 OSDs for chaos, have %d", st.OSDs)
+	}
+
+	// 10% transient errors + stalls longer than the hedge delay on two OSDs.
+	flaky := service.FaultSpec{ErrorProb: 0.1, LatencyMult: 5, StuckProb: 0.05, StuckMs: 400}
+	for _, osd := range []int{0, 1} {
+		if err := gc.SetFault(ctx, osd, flaky); err != nil {
+			return fmt.Errorf("set fault on osd %d: %w", osd, err)
+		}
+	}
+	logger.Info("chaos faults armed", "osds", "0,1",
+		"error_prob", flaky.ErrorProb, "stuck_ms", flaky.StuckMs)
+
+	rng := rand.New(rand.NewSource(7))
+	payloads := make(map[string][]byte, 200)
+	for i := 0; i < 200; i++ {
+		payload := make([]byte, 4096+rng.Intn(8192))
+		rng.Read(payload)
+		key := fmt.Sprintf("chaos/obj-%d", i)
+		payloads[key] = payload
+		if _, err := gc.PutObject(ctx, key, payload); err != nil {
+			return fmt.Errorf("put %s under faults: %w", key, err)
+		}
+		got, _, err := gc.GetObject(ctx, key)
+		if err != nil {
+			return fmt.Errorf("get %s under faults: %w", key, err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("get %s under faults: payload mismatch", key)
+		}
+	}
+	logger.Info("chaos cycles ok", "cycles", 200)
+
+	// Full partition on OSD 0: the breaker must trip and reads must keep
+	// succeeding through parity, byte-identical.
+	if err := gc.SetFault(ctx, 0, service.FaultSpec{Partition: true}); err != nil {
+		return fmt.Errorf("partition osd 0: %w", err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("chaos/obj-%d", i)
+		got, _, err := gc.GetObject(ctx, key)
+		if err != nil {
+			return fmt.Errorf("get %s under partition: %w", key, err)
+		}
+		if !bytes.Equal(got, payloads[key]) {
+			return fmt.Errorf("get %s under partition: payload mismatch", key)
+		}
+	}
+	st, err = gc.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status after partition: %w", err)
+	}
+	if st.BreakersOpen == 0 {
+		return fmt.Errorf("partition did not trip a breaker")
+	}
+	if st.Retries == 0 {
+		return fmt.Errorf("injected faults produced zero shard retries")
+	}
+	logger.Info("breaker tripped", "open", st.BreakersOpen,
+		"retries", st.Retries, "hedged", st.HedgedReads)
+
+	// Clear every fault; after the cooldown the breaker must close again.
+	for _, osd := range []int{0, 1} {
+		if err := gc.SetFault(ctx, osd, service.FaultSpec{}); err != nil {
+			return fmt.Errorf("clear fault on osd %d: %w", osd, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, err := gc.GetObject(ctx, "chaos/obj-0"); err != nil {
+			return fmt.Errorf("get after fault clear: %w", err)
+		}
+		st, err = gc.Status(ctx)
+		if err != nil {
+			return err
+		}
+		if st.BreakersOpen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("breaker still open after faults cleared")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	metrics, err := gc.MetricsText(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, series := range []string{
+		"ecgate_shard_retries_total", "ecgate_breaker_trips_total", "ecgate_breaker_state",
+	} {
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("metrics missing %s", series)
+		}
+	}
+
+	// Leave the namespace clean for any following smoke steps.
+	for i := 0; i < 200; i++ {
+		if err := gc.DeleteObject(ctx, fmt.Sprintf("chaos/obj-%d", i)); err != nil {
+			return fmt.Errorf("chaos cleanup delete: %w", err)
+		}
+	}
+	logger.Info("chaos leg ok")
 	return nil
 }

@@ -31,7 +31,7 @@ func main() {
 		backend  = flag.String("backend", "mem", "shard store backend: mem | sim")
 		host     = flag.String("host", "", "failure-domain host label (default nodeN)")
 		deviceMB = flag.Int64("device-mb", 256, "sim backend: device capacity in MiB")
-		seed     = flag.Int64("seed", 1, "sim backend: device RNG seed")
+		seed     = flag.Int64("seed", 1, "device / fault-injection RNG seed")
 	)
 	flag.Parse()
 
@@ -61,6 +61,11 @@ func main() {
 		logger.Error("unknown backend", "backend", *backend)
 		os.Exit(1)
 	}
+
+	// Wrap the store so this daemon exposes the /v1/faults admin surface:
+	// chaos drivers can inject shard-level errors, latency and partitions
+	// without restarting it.
+	st = service.NewFaultStore(st, *id, *seed)
 
 	srv := service.NewOSDServer(*id, st, logger)
 	logger.Info("ecstored listening",

@@ -207,6 +207,17 @@ type (
 	GateClient = service.GateClient
 	// OSDClient is the gateway-side ShardStore speaking HTTP to ecstored.
 	OSDClient = service.OSDClient
+	// FaultSpec is one OSD's network-fault injection knob set (error
+	// probability, latency inflation, stuck ops, full partition).
+	FaultSpec = service.FaultSpec
+	// FaultStatus pairs an OSD's fault spec with its injection stats.
+	FaultStatus = service.FaultStatus
+	// FaultStoreWrapper is the deterministic fault-injecting ShardStore
+	// wrapper behind the /v1/faults admin endpoints.
+	FaultStoreWrapper = service.FaultStore
+	// ShardBreaker is the per-OSD circuit breaker guarding the gateway's
+	// shard data path.
+	ShardBreaker = service.Breaker
 	// CrushMap is the straw2 placement map the gateway places against.
 	CrushMap = crush.Map
 )

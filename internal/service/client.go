@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -80,12 +81,32 @@ func (c *OSDClient) do(ctx context.Context, method, u string, body []byte) (*htt
 	if err != nil {
 		return nil, err
 	}
+	setRequestIDHeader(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Connection refused / reset / deadline: the OSD is unreachable.
 		return nil, fmt.Errorf("%w: %v", ErrOSDDown, err)
 	}
 	return resp, nil
+}
+
+// SetFault pushes a network-fault spec to the daemon's /v1/faults admin
+// endpoint (FaultStore-wrapped daemons only).
+func (c *OSDClient) SetFault(ctx context.Context, spec FaultSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.base+"/v1/faults", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
 }
 
 // Put implements ShardStore.
@@ -162,15 +183,33 @@ func (c *OSDClient) Healthz(ctx context.Context) error {
 }
 
 // GateClient is the object-level HTTP client for an ecgate gateway — what
-// load drivers, the smoke leg and service tests speak.
+// load drivers, the smoke leg and service tests speak. Object ops retry
+// 429/503 responses automatically (bodies are byte slices, so every
+// attempt re-sends the full payload), honoring the server's Retry-After
+// hint capped at maxRetryWait.
 type GateClient struct {
-	base string
-	hc   *http.Client
+	base         string
+	hc           *http.Client
+	retries      int
+	maxRetryWait time.Duration
 }
 
 // NewGateClient targets a gateway at baseURL.
 func NewGateClient(baseURL string) *GateClient {
-	return &GateClient{base: strings.TrimRight(baseURL, "/"), hc: defaultHTTPClient()}
+	return &GateClient{
+		base:         strings.TrimRight(baseURL, "/"),
+		hc:           defaultHTTPClient(),
+		retries:      2,
+		maxRetryWait: 500 * time.Millisecond,
+	}
+}
+
+// SetRetries overrides the automatic 429/503 retry budget (0 disables —
+// useful for tests asserting raw server behavior).
+func (c *GateClient) SetRetries(n int) {
+	if n >= 0 {
+		c.retries = n
+	}
 }
 
 func (c *GateClient) objectURL(key string) string {
@@ -186,12 +225,54 @@ func (c *GateClient) do(ctx context.Context, method, u string, body []byte) (*ht
 	if err != nil {
 		return nil, err
 	}
+	setRequestIDHeader(ctx, req)
 	return c.hc.Do(req)
+}
+
+// doRetry issues the request, re-sending on 429 (admission overload) and
+// 503 (temporarily short on shards) until the retry budget runs out. The
+// final response — whatever its code — is returned for normal decoding.
+func (c *GateClient) doRetry(ctx context.Context, method, u string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.do(ctx, method, u, body)
+		if err != nil {
+			return nil, err
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retries {
+			return resp, nil
+		}
+		wait := c.retryWait(resp, attempt)
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// retryWait picks the pause before a re-send: the server's Retry-After
+// seconds when present and sane, else a small exponential backoff; both
+// capped so drivers and tests stay fast.
+func (c *GateClient) retryWait(resp *http.Response, attempt int) time.Duration {
+	wait := (50 * time.Millisecond) << attempt
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait > c.maxRetryWait {
+		wait = c.maxRetryWait
+	}
+	return wait
 }
 
 // PutObject stores data under key.
 func (c *GateClient) PutObject(ctx context.Context, key string, data []byte) (ObjectInfo, error) {
-	resp, err := c.do(ctx, http.MethodPut, c.objectURL(key), data)
+	resp, err := c.doRetry(ctx, http.MethodPut, c.objectURL(key), data)
 	if err != nil {
 		return ObjectInfo{}, err
 	}
@@ -209,7 +290,7 @@ func (c *GateClient) PutObject(ctx context.Context, key string, data []byte) (Ob
 // GetObject reads key back; degraded reports whether the gateway had to
 // reconstruct data shards from parity.
 func (c *GateClient) GetObject(ctx context.Context, key string) (data []byte, degraded bool, err error) {
-	resp, err := c.do(ctx, http.MethodGet, c.objectURL(key), nil)
+	resp, err := c.doRetry(ctx, http.MethodGet, c.objectURL(key), nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -223,7 +304,7 @@ func (c *GateClient) GetObject(ctx context.Context, key string) (data []byte, de
 
 // DeleteObject removes key.
 func (c *GateClient) DeleteObject(ctx context.Context, key string) error {
-	resp, err := c.do(ctx, http.MethodDelete, c.objectURL(key), nil)
+	resp, err := c.doRetry(ctx, http.MethodDelete, c.objectURL(key), nil)
 	if err != nil {
 		return err
 	}
@@ -296,6 +377,32 @@ func (c *GateClient) postFault(ctx context.Context, id int, action string) error
 	return nil
 }
 
+// Faults fetches every OSD's injection spec and stats.
+func (c *GateClient) Faults(ctx context.Context) ([]FaultStatus, error) {
+	var out []FaultStatus
+	err := c.getJSON(ctx, "/v1/faults", &out)
+	return out, err
+}
+
+// SetFault pushes a network-fault spec for one OSD through the gateway's
+// admin surface.
+func (c *GateClient) SetFault(ctx context.Context, osd int, spec FaultSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, fmt.Sprintf("%s/v1/faults/%d", c.base, osd), body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeGateError(resp)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
 // MetricsText fetches the raw /metrics exposition.
 func (c *GateClient) MetricsText(ctx context.Context) (string, error) {
 	resp, err := c.do(ctx, http.MethodGet, c.base+"/metrics", nil)
@@ -311,9 +418,11 @@ func (c *GateClient) MetricsText(ctx context.Context) (string, error) {
 }
 
 // WaitReady polls /healthz until the deadline (boot synchronization for
-// smoke drivers).
+// smoke drivers), backing off exponentially between probes so a slow boot
+// is not hammered with a tight poll loop.
 func (c *GateClient) WaitReady(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	wait := 10 * time.Millisecond
 	for {
 		resp, err := c.do(ctx, http.MethodGet, c.base+"/healthz", nil)
 		if err == nil {
@@ -332,7 +441,10 @@ func (c *GateClient) WaitReady(ctx context.Context, timeout time.Duration) error
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(wait):
+		}
+		if wait *= 2; wait > 400*time.Millisecond {
+			wait = 400 * time.Millisecond
 		}
 	}
 }

@@ -52,4 +52,27 @@
 // every request emits one structured (slog JSON) log line; /metrics exposes
 // Prometheus-text counters and latency histograms (per-op latency, bytes
 // in/out, degraded reads, reconstructions, shard errors, admission drops).
+//
+// # Resilience
+//
+// The shard data path is tail-tolerant, mirroring the simulator's
+// gray-failure subsystem at the HTTP tier. Transient shard-op failures are
+// retried with exponential backoff and seeded jitter (Retries/RetryBase/
+// RetryMax); shard GETs that stall past HedgeDelay launch one hedged
+// duplicate whose loser is cancelled and never scored against the OSD
+// (truthful scoring); and a per-OSD circuit Breaker (consecutive-failure
+// or EWMA trip → open → half-open probe → closed) ejects a persistently
+// failing OSD from the data path until it proves itself again. Every
+// gateway wraps its stores in a FaultStore — a deterministic, seeded
+// fault injector (error probability, latency inflation, stuck ops, full
+// partition) runtime-controlled via POST /v1/faults/{osd} on both ecgate
+// and ecstored — so the whole stack is chaos-testable over real sockets.
+//
+// With MetaDir set the object index is crash-safe: every put/delete is
+// appended to an fsynced JSONL write-ahead log (metaWAL) before it is
+// acknowledged, snapshot-compacted once the log outgrows its threshold,
+// and replayed on startup — a killed and restarted gateway serves every
+// acknowledged object byte-identically. X-Request-ID correlation ties one
+// object request to its shard requests across both daemons' logs, and
+// GateClient retries 429/503 responses honoring Retry-After.
 package service

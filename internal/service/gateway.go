@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,33 @@ type GatewayConfig struct {
 	// reported down on /v1/osds (informational; the data path still
 	// attempts every placed shard so recovery is observed immediately).
 	FailThreshold int
+	// Retries bounds automatic re-attempts of a transient shard-op
+	// failure (injected faults, timeouts, transport resets); 0 disables.
+	// Each retry backs off exponentially from RetryBase (capped at
+	// RetryMax) plus seeded jitter.
+	Retries   int
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeDelay launches a single second (hedged) shard GET when the
+	// first has not answered within this delay; first result wins and the
+	// loser is cancelled. 0 disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// OSD's circuit breaker (an EWMA failure-rate criterion also applies;
+	// see Breaker). Open OSDs are skipped by read waves and writes
+	// degrade around them until a half-open probe succeeds after
+	// BreakerCooldown. 0 disables the breakers.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed drives the retry-jitter RNG (deterministic backoff sequences
+	// under test); 0 means 1.
+	Seed int64
+	// MetaDir, when non-empty, makes object metadata crash-safe: an
+	// append-only JSONL WAL (fsync per record) replayed on startup, with
+	// snapshot compaction every MetaCompactThreshold records (default
+	// 1024). Empty keeps the index in-memory only.
+	MetaDir              string
+	MetaCompactThreshold int
 	// Logger receives one structured line per request; nil discards.
 	Logger *slog.Logger
 	// Faults, when non-nil, exposes kill/revive admin endpoints
@@ -67,12 +95,19 @@ type GatewayConfig struct {
 func DefaultGatewayConfig() GatewayConfig {
 	return GatewayConfig{
 		K: 4, M: 2,
-		ChunkSize:      64 << 10,
-		ShardTimeout:   2 * time.Second,
-		RequestTimeout: 15 * time.Second,
-		MaxInflight:    256,
-		MaxObjectBytes: 64 << 20,
-		FailThreshold:  3,
+		ChunkSize:        64 << 10,
+		ShardTimeout:     2 * time.Second,
+		RequestTimeout:   15 * time.Second,
+		MaxInflight:      256,
+		MaxObjectBytes:   64 << 20,
+		FailThreshold:    3,
+		Retries:          2,
+		RetryBase:        20 * time.Millisecond,
+		RetryMax:         250 * time.Millisecond,
+		HedgeDelay:       150 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Second,
+		Seed:             1,
 	}
 }
 
@@ -91,6 +126,25 @@ func (c *GatewayConfig) validate() error {
 	}
 	if c.ShardTimeout <= 0 || c.RequestTimeout <= 0 {
 		return fmt.Errorf("service: timeouts must be positive")
+	}
+	if c.Retries < 0 || c.BreakerThreshold < 0 {
+		return fmt.Errorf("service: Retries and BreakerThreshold must be >= 0")
+	}
+	if c.RetryBase < 0 || c.RetryMax < 0 || c.HedgeDelay < 0 || c.BreakerCooldown < 0 {
+		return fmt.Errorf("service: retry/hedge/breaker durations must be >= 0")
+	}
+	// Normalize optional knobs so zero-valued configs behave sanely.
+	if c.RetryBase == 0 {
+		c.RetryBase = 20 * time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return nil
 }
@@ -139,17 +193,24 @@ type Gateway struct {
 	cfg    GatewayConfig
 	code   *rs.Code
 	placer *Placer
-	stores []ShardStore
+	stores []ShardStore   // fault-injection wrappers over the backends
+	faults []*FaultStore  // the same wrappers, typed (= stores[i])
 	log    *slog.Logger
 	reg    *Registry
+
+	breakers []*Breaker
 
 	inflight chan struct{}
 
 	gen atomic.Uint64 // generation stamp for backend shard keys
 
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry-jitter source (seeded)
+
 	mu      sync.RWMutex
 	objects map[string]*objectMeta
-	stored  int64 // sum of object sizes
+	stored  int64    // sum of object sizes
+	wal     *metaWAL // nil when MetaDir is unset
 
 	health []osdHealth
 }
@@ -177,17 +238,66 @@ func NewGateway(cfg GatewayConfig, stores []ShardStore, placer *Placer) (*Gatewa
 	if logger == nil {
 		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
-	return &Gateway{
+	g := &Gateway{
 		cfg:      cfg,
 		code:     code,
 		placer:   placer,
-		stores:   stores,
 		log:      logger,
 		reg:      NewRegistry(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		objects:  map[string]*objectMeta{},
 		health:   make([]osdHealth, len(stores)),
-	}, nil
+	}
+	// Every backend is wrapped in a FaultStore so chaos is injectable on
+	// any gateway at runtime (a zero spec is a straight pass-through).
+	g.faults = make([]*FaultStore, len(stores))
+	g.stores = make([]ShardStore, len(stores))
+	g.breakers = make([]*Breaker, len(stores))
+	for i, s := range stores {
+		fs := NewFaultStore(s, i, cfg.Seed)
+		g.faults[i] = fs
+		g.stores[i] = fs
+		b := NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		b.onTrip = func() { g.reg.Counter("ecgate_breaker_trips_total").Inc() }
+		g.breakers[i] = b
+	}
+	if cfg.MetaDir != "" {
+		wal, objects, maxGen, err := openMetaWAL(cfg.MetaDir, cfg.MetaCompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		g.wal = wal
+		g.objects = objects
+		g.gen.Store(maxGen)
+		var stored int64
+		for _, m := range objects {
+			stored += m.size
+		}
+		g.stored = stored
+		g.reg.Gauge("ecgate_objects").Set(int64(len(objects)))
+		g.reg.Gauge("ecgate_bytes_stored").Set(stored)
+	}
+	return g, nil
+}
+
+// Close releases the metadata WAL (no-op for in-memory gateways).
+func (g *Gateway) Close() error { return g.wal.Close() }
+
+// FaultStore returns OSD osd's fault-injection wrapper (admin surface and
+// tests).
+func (g *Gateway) FaultStore(osd int) *FaultStore { return g.faults[osd] }
+
+// Breaker returns OSD osd's circuit breaker.
+func (g *Gateway) Breaker(osd int) *Breaker { return g.breakers[osd] }
+
+// FaultStatuses lists every OSD's injection spec and stats (/v1/faults).
+func (g *Gateway) FaultStatuses() []FaultStatus {
+	out := make([]FaultStatus, len(g.faults))
+	for i, f := range g.faults {
+		out[i] = FaultStatus{OSD: i, Spec: f.Fault(), Stats: f.FaultStats()}
+	}
+	return out
 }
 
 // Metrics returns the gateway's registry (the /metrics source).
@@ -231,14 +341,187 @@ func (g *Gateway) noteResult(osd int, err error) {
 	}
 }
 
-// shardOp runs fn against one shard store under the per-shard deadline
-// and records the outcome in the OSD health tracker.
-func (g *Gateway) shardOp(ctx context.Context, osd int, fn func(ctx context.Context) error) error {
-	sctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
-	defer cancel()
-	err := fn(sctx)
+// errCircuitOpen marks a shard op short-circuited by an open breaker:
+// the OSD was never contacted. Not retryable; reads reconstruct around
+// it, writes degrade.
+var errCircuitOpen = errors.New("service: circuit breaker open")
+
+// transient reports whether a shard-op error is worth retrying: injected
+// faults, per-shard deadline expiry and transport hiccups are; a definite
+// down signal (ErrOSDDown), a missing shard, a cancelled parent request
+// and a skipped (breaker-open) op are not.
+func transient(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, ErrNotFound),
+		errors.Is(err, ErrOSDDown),
+		errors.Is(err, errCircuitOpen),
+		errors.Is(err, context.Canceled):
+		return false
+	}
+	return true
+}
+
+// backoff returns the sleep before retry attempt (0-based) with seeded
+// jitter in [0, 50%] of the exponential base.
+func (g *Gateway) backoff(attempt int) time.Duration {
+	d := g.cfg.RetryBase << attempt
+	if d > g.cfg.RetryMax || d <= 0 {
+		d = g.cfg.RetryMax
+	}
+	g.rngMu.Lock()
+	j := time.Duration(g.rng.Int63n(int64(d/2) + 1))
+	g.rngMu.Unlock()
+	return d + j
+}
+
+// score feeds one completed attempt's truthful outcome into the health
+// tracker, the circuit breaker and the per-op latency histogram.
+func (g *Gateway) score(osd int, op string, err error, dur time.Duration) {
+	g.reg.Histogram(fmt.Sprintf("ecgate_shard_seconds{op=%q}", op)).Observe(dur)
 	g.noteResult(osd, err)
+	g.breakers[osd].Record(err == nil || errors.Is(err, ErrNotFound), time.Now())
+	g.reg.Gauge(fmt.Sprintf("ecgate_breaker_state{osd=\"%d\"}", osd)).Set(int64(g.breakers[osd].State()))
+}
+
+// attempt runs fn once against one shard store under the per-shard
+// deadline and scores the outcome.
+func (g *Gateway) attempt(ctx context.Context, osd int, op string, fn func(ctx context.Context) error) error {
+	start := time.Now()
+	sctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
+	err := fn(sctx)
+	cancel()
+	g.score(osd, op, err, time.Since(start))
 	return err
+}
+
+// allow consults the OSD's breaker, counting short-circuited ops.
+func (g *Gateway) allow(osd int) bool {
+	if g.breakers[osd].Allow(time.Now()) {
+		return true
+	}
+	g.reg.Counter("ecgate_breaker_skipped_total").Inc()
+	g.reg.Gauge(fmt.Sprintf("ecgate_breaker_state{osd=\"%d\"}", osd)).Set(int64(g.breakers[osd].State()))
+	return false
+}
+
+// shardOp is the write/delete-side shard op: breaker gate, then up to
+// 1+Retries attempts with exponential backoff and seeded jitter on
+// transient failures.
+func (g *Gateway) shardOp(ctx context.Context, osd int, op string, fn func(ctx context.Context) error) error {
+	if !g.allow(osd) {
+		return errCircuitOpen
+	}
+	var err error
+	for a := 0; ; a++ {
+		err = g.attempt(ctx, osd, op, fn)
+		if err == nil || !transient(err) || a >= g.cfg.Retries || ctx.Err() != nil {
+			return err
+		}
+		g.reg.Counter(fmt.Sprintf("ecgate_shard_retries_total{op=%q}", op)).Inc()
+		if sleep(ctx, g.backoff(a)) != nil {
+			return err
+		}
+	}
+}
+
+// hedgedGet fetches one shard, launching a single hedged second attempt
+// if the first has not answered within HedgeDelay. First result wins; the
+// loser is cancelled and — truthful scoring — only attempts that ran to
+// their own completion are recorded against the OSD's health and breaker.
+func (g *Gateway) hedgedGet(ctx context.Context, skey string, shard, osd int) ([]byte, error) {
+	run := func(c context.Context) ([]byte, error) {
+		return g.stores[osd].Get(c, skey, shard)
+	}
+	if g.cfg.HedgeDelay <= 0 {
+		var data []byte
+		err := g.attempt(ctx, osd, "get", func(c context.Context) error {
+			var e error
+			data, e = run(c)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	type res struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan res, 2)
+	launch := func(hedge bool) {
+		go func() {
+			start := time.Now()
+			sctx, scancel := context.WithTimeout(cctx, g.cfg.ShardTimeout)
+			defer scancel()
+			data, err := run(sctx)
+			if cctx.Err() == nil {
+				g.score(osd, "get", err, time.Since(start))
+			}
+			ch <- res{data, err, hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(g.cfg.HedgeDelay)
+	defer timer.Stop()
+	hedged := false
+	for received := 0; ; {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				g.reg.Counter("ecgate_hedged_reads_total").Inc()
+				launch(true)
+			}
+		case r := <-ch:
+			received++
+			if r.err == nil {
+				if r.hedge {
+					g.reg.Counter("ecgate_hedge_wins_total").Inc()
+				}
+				return r.data, nil
+			}
+			if !hedged || received == 2 {
+				return nil, r.err
+			}
+			// First attempt failed with a hedge in flight: its result may
+			// still win.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fetchShard is the read-side shard op: breaker gate, hedged GET, bounded
+// retry on transient failures, length validation.
+func (g *Gateway) fetchShard(ctx context.Context, skey string, shard, osd int, want int64) ([]byte, error) {
+	if !g.allow(osd) {
+		return nil, errCircuitOpen
+	}
+	var (
+		data []byte
+		err  error
+	)
+	for a := 0; ; a++ {
+		data, err = g.hedgedGet(ctx, skey, shard, osd)
+		if err == nil {
+			if int64(len(data)) != want {
+				return nil, fmt.Errorf("service: shard %d length %d, want %d", shard, len(data), want)
+			}
+			return data, nil
+		}
+		if !transient(err) || a >= g.cfg.Retries || ctx.Err() != nil {
+			return nil, err
+		}
+		g.reg.Counter(`ecgate_shard_retries_total{op="get"}`).Inc()
+		if sleep(ctx, g.backoff(a)) != nil {
+			return nil, err
+		}
+	}
 }
 
 // shardLen returns the per-shard stream length for a payload of size
@@ -301,7 +584,7 @@ func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (Objec
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = g.shardOp(ctx, osds[i], func(c context.Context) error {
+			errs[i] = g.shardOp(ctx, osds[i], "put", func(c context.Context) error {
 				return g.stores[osds[i]].Put(c, skey, i, shards[i].Bytes())
 			})
 		}(i)
@@ -324,7 +607,7 @@ func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (Objec
 		for i := range ok {
 			if ok[i] {
 				i := i
-				_ = g.shardOp(ctx, osds[i], func(c context.Context) error {
+				_ = g.shardOp(ctx, osds[i], "delete", func(c context.Context) error {
 					return g.stores[osds[i]].Delete(c, skey, i)
 				})
 			}
@@ -338,6 +621,16 @@ func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (Objec
 
 	meta := &objectMeta{size: int64(len(data)), skey: skey, osds: osds, ok: ok}
 	g.mu.Lock()
+	if g.wal != nil {
+		// Durably log before the in-memory index moves: an acknowledged
+		// PUT must survive a kill. On log failure the index is untouched
+		// and this generation's shards are rolled back.
+		if err := g.wal.appendPut(key, meta); err != nil {
+			g.mu.Unlock()
+			g.deleteShards(ctx, meta, "put")
+			return ObjectInfo{}, err
+		}
+	}
 	old := g.objects[key]
 	if old != nil {
 		g.stored -= old.size
@@ -346,6 +639,17 @@ func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (Objec
 	g.stored += meta.size
 	objs := len(g.objects)
 	stored := g.stored
+	if g.wal != nil {
+		g.reg.Counter("ecgate_wal_records_total").Inc()
+		if g.wal.shouldCompact() {
+			if err := g.wal.compactTo(g.objects); err != nil {
+				g.log.LogAttrs(ctx, slog.LevelError, "wal compaction failed",
+					slog.String("error", err.Error()))
+			} else {
+				g.reg.Counter("ecgate_wal_compactions_total").Inc()
+			}
+		}
+	}
 	g.mu.Unlock()
 	if old != nil {
 		// Best-effort cleanup of the superseded generation's shards.
@@ -376,7 +680,7 @@ func (g *Gateway) deleteShards(ctx context.Context, meta *objectMeta, op string)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			err := g.shardOp(ctx, meta.osds[i], func(c context.Context) error {
+			err := g.shardOp(ctx, meta.osds[i], "delete", func(c context.Context) error {
 				return g.stores[meta.osds[i]].Delete(c, meta.skey, i)
 			})
 			if err != nil && !errors.Is(err, ErrNotFound) {
@@ -387,8 +691,9 @@ func (g *Gateway) deleteShards(ctx context.Context, meta *objectMeta, op string)
 	wg.Wait()
 }
 
-// fetchWave fetches the given shard indices concurrently, each under the
-// per-shard deadline, validating lengths against the expected shard size.
+// fetchWave fetches the given shard indices concurrently through the
+// resilient read path (breaker gate, hedged GET, bounded retry, length
+// validation).
 func (g *Gateway) fetchWave(ctx context.Context, key string, meta *objectMeta, idxs []int, want int64) []fetchResult {
 	out := make([]fetchResult, len(idxs))
 	var wg sync.WaitGroup
@@ -396,15 +701,7 @@ func (g *Gateway) fetchWave(ctx context.Context, key string, meta *objectMeta, i
 		wg.Add(1)
 		go func(n, i int) {
 			defer wg.Done()
-			var data []byte
-			err := g.shardOp(ctx, meta.osds[i], func(c context.Context) error {
-				var e error
-				data, e = g.stores[meta.osds[i]].Get(c, key, i)
-				return e
-			})
-			if err == nil && int64(len(data)) != want {
-				err = fmt.Errorf("service: shard %d length %d, want %d", i, len(data), want)
-			}
+			data, err := g.fetchShard(ctx, key, i, meta.osds[i], want)
 			out[n] = fetchResult{idx: i, data: data, err: err}
 		}(n, i)
 	}
@@ -526,6 +823,15 @@ func (g *Gateway) DeleteObject(ctx context.Context, key string) error {
 	defer g.release()
 	g.mu.Lock()
 	meta, exists := g.objects[key]
+	if exists && g.wal != nil {
+		if err := g.wal.appendDelete(key); err != nil {
+			// Not durably logged: keep serving the object rather than
+			// resurrect it after a restart.
+			g.mu.Unlock()
+			return err
+		}
+		g.reg.Counter("ecgate_wal_records_total").Inc()
+	}
 	if exists {
 		delete(g.objects, key)
 		g.stored -= meta.size
@@ -551,6 +857,9 @@ type StatusInfo struct {
 	BytesStored     int64   `json:"bytes_stored"`
 	OSDs            int     `json:"osds"`
 	OSDsDown        int     `json:"osds_down"`
+	BreakersOpen    int     `json:"breakers_open"`
+	Retries         int64   `json:"shard_retries"`
+	HedgedReads     int64   `json:"hedged_reads"`
 	DegradedReads   int64   `json:"degraded_reads"`
 	Reconstructions int64   `json:"reconstructed_shards"`
 	AdmissionDrops  int64   `json:"admission_rejected"`
@@ -570,6 +879,16 @@ func (g *Gateway) Status() StatusInfo {
 		}
 		g.health[i].mu.Unlock()
 	}
+	open := 0
+	for _, b := range g.breakers {
+		if b.State() != BreakerClosed {
+			open++
+		}
+	}
+	var retries int64
+	for _, op := range []string{"get", "put", "delete"} {
+		retries += g.reg.Counter(fmt.Sprintf("ecgate_shard_retries_total{op=%q}", op)).Value()
+	}
 	st := StatusInfo{
 		Scheme:          fmt.Sprintf("RS(%d,%d)", g.cfg.K, g.cfg.M),
 		Backend:         g.cfg.Backend,
@@ -578,6 +897,9 @@ func (g *Gateway) Status() StatusInfo {
 		BytesStored:     stored,
 		OSDs:            len(g.stores),
 		OSDsDown:        down,
+		BreakersOpen:    open,
+		Retries:         retries,
+		HedgedReads:     g.reg.Counter("ecgate_hedged_reads_total").Value(),
 		DegradedReads:   g.reg.Counter("ecgate_degraded_reads_total").Value(),
 		Reconstructions: g.reg.Counter("ecgate_reconstructed_shards_total").Value(),
 		AdmissionDrops:  g.reg.Counter("ecgate_admission_rejected_total").Value(),
@@ -592,10 +914,12 @@ func (g *Gateway) Status() StatusInfo {
 // merged with the gateway's health view.
 type OSDStatus struct {
 	OSDStat
-	Down    bool   `json:"gateway_down"`
-	Fails   int    `json:"consecutive_fails"`
-	LastErr string `json:"last_error,omitempty"`
-	Error   string `json:"stat_error,omitempty"`
+	Down    bool    `json:"gateway_down"`
+	Fails   int     `json:"consecutive_fails"`
+	Breaker string  `json:"breaker"`
+	ErrRate float64 `json:"error_rate_ewma"`
+	LastErr string  `json:"last_error,omitempty"`
+	Error   string  `json:"stat_error,omitempty"`
 }
 
 // OSDStatuses stats every OSD (short per-OSD deadline).
@@ -621,6 +945,8 @@ func (g *Gateway) OSDStatuses(ctx context.Context) []OSDStatus {
 			out[i].Fails = h.consec
 			out[i].LastErr = h.lastErr
 			h.mu.Unlock()
+			out[i].Breaker = g.breakers[i].State().String()
+			out[i].ErrRate = g.breakers[i].FailureRate()
 		}(i)
 	}
 	wg.Wait()

@@ -62,6 +62,8 @@ func writeError(w http.ResponseWriter, err error) int {
 //	GET    /v1/osds            per-OSD stat + gateway health view
 //	POST   /v1/osds/{id}/fail     kill an OSD (fault-injecting backends)
 //	POST   /v1/osds/{id}/restore  revive it
+//	GET    /v1/faults          per-OSD injection specs + stats
+//	POST   /v1/faults/{osd}    set an OSD's network-fault spec (JSON body)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness
 func (g *Gateway) Handler() http.Handler {
@@ -88,6 +90,18 @@ func (g *Gateway) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/osds/{id}/restore", func(w http.ResponseWriter, r *http.Request) {
 		g.serveFault(w, r, false)
+	})
+
+	mux.HandleFunc("GET /v1/faults", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, g.FaultStatuses())
+	})
+	mux.HandleFunc("POST /v1/faults/{osd}", func(w http.ResponseWriter, r *http.Request) {
+		osd, err := strconv.Atoi(r.PathValue("osd"))
+		if err != nil || osd < 0 || osd >= len(g.faults) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad osd id"})
+			return
+		}
+		serveSetFault(w, r, g.faults[osd], osd)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -128,11 +142,28 @@ func (g *Gateway) serveFault(w http.ResponseWriter, r *http.Request, fail bool) 
 	writeJSON(w, http.StatusOK, map[string]any{"osd": id, "state": action})
 }
 
+// serveSetFault decodes a FaultSpec body into one OSD's FaultStore —
+// shared by the gateway and ecstored admin surfaces.
+func serveSetFault(w http.ResponseWriter, r *http.Request, fc FaultControl, osd int) {
+	var spec FaultSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<10)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad fault spec: " + err.Error()})
+		return
+	}
+	if err := fc.SetFault(spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, FaultStatus{OSD: osd, Spec: fc.Fault(), Stats: fc.FaultStats()})
+}
+
 // serveObject is the object data path: admission, the op itself, then one
 // structured log line and the per-op metrics.
 func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string) {
 	start := time.Now()
 	key := r.PathValue("key")
+	reqID := requestID(w, r)
+	r = r.WithContext(WithRequestID(r.Context(), reqID))
 	var (
 		status  int
 		bytesN  int64
@@ -191,6 +222,7 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string)
 	g.reg.Histogram(fmt.Sprintf("ecgate_request_seconds{op=%q}", op)).Observe(dur)
 
 	attrs := []slog.Attr{
+		slog.String("request_id", reqID),
 		slog.String("op", op),
 		slog.String("key", key),
 		slog.Int("status", status),

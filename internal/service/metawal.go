@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Crash-safe gateway metadata: an append-only JSONL write-ahead log of
+// put/delete records plus a snapshot file for compaction. A killed and
+// restarted gateway replays snapshot+WAL and serves every previously
+// written object byte-identically (the shard stores themselves hold the
+// data; this persists the object→{generation key, placement, shard mask}
+// index that was previously in-memory only).
+//
+// Layout under MetaDir:
+//
+//	meta.snap   full object index at the last compaction (JSONL of puts)
+//	meta.wal    records appended since, fsynced per append
+//
+// Compaction rewrites meta.snap from the live index (tmp file + rename,
+// so a crash mid-compaction keeps the previous snapshot) and truncates
+// the WAL, bounding replay work and on-disk size.
+
+const (
+	walFileName  = "meta.wal"
+	snapFileName = "meta.snap"
+)
+
+// walRecord is one JSONL line: op "put" carries the full object meta,
+// op "del" only the key.
+type walRecord struct {
+	Op   string `json:"op"`
+	Key  string `json:"key"`
+	Size int64  `json:"size,omitempty"`
+	SKey string `json:"skey,omitempty"`
+	OSDs []int  `json:"osds,omitempty"`
+	OK   []bool `json:"ok,omitempty"`
+}
+
+// metaWAL is the gateway's durable metadata log. Callers (the gateway)
+// serialize access under their own lock so WAL order matches index order.
+type metaWAL struct {
+	dir     string
+	f       *os.File
+	records int // appends since the last compaction
+	compact int // compaction threshold (records)
+}
+
+// openMetaWAL loads the snapshot and replays the WAL from dir (created if
+// missing), returning the recovered object index and the highest backend
+// generation stamp seen (the gateway resumes its generation counter above
+// it so new PUTs can never collide with replayed shard keys).
+func openMetaWAL(dir string, compactThreshold int) (*metaWAL, map[string]*objectMeta, uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("service: meta dir: %w", err)
+	}
+	if compactThreshold <= 0 {
+		compactThreshold = 1024
+	}
+	objects := map[string]*objectMeta{}
+	if err := replayFile(filepath.Join(dir, snapFileName), objects); err != nil {
+		return nil, nil, 0, err
+	}
+	w := &metaWAL{dir: dir, compact: compactThreshold}
+	n, err := replayCount(filepath.Join(dir, walFileName), objects)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	w.records = n
+	maxGen := uint64(0)
+	for _, m := range objects {
+		if g := genOf(m.skey); g > maxGen {
+			maxGen = g
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("service: open wal: %w", err)
+	}
+	w.f = f
+	return w, objects, maxGen, nil
+}
+
+// genOf parses the generation stamp out of a backend key ("key@gen").
+func genOf(skey string) uint64 {
+	i := strings.LastIndexByte(skey, '@')
+	if i < 0 {
+		return 0
+	}
+	g, err := strconv.ParseUint(skey[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+// replayFile applies every record of a JSONL file to the index; a missing
+// file is an empty log. A torn final line (crash mid-append) is ignored;
+// corruption anywhere else is an error.
+func replayFile(path string, objects map[string]*objectMeta) error {
+	_, err := replayCount(path, objects)
+	return err
+}
+
+func replayCount(path string, objects map[string]*objectMeta) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("service: open %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	n := 0
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad line followed by more records is real corruption, not
+			// a torn tail.
+			return n, pendingErr
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("service: corrupt record in %s: %w", filepath.Base(path), err)
+			continue
+		}
+		switch rec.Op {
+		case "put":
+			objects[rec.Key] = &objectMeta{size: rec.Size, skey: rec.SKey, osds: rec.OSDs, ok: rec.OK}
+		case "del":
+			delete(objects, rec.Key)
+		default:
+			pendingErr = fmt.Errorf("service: unknown wal op %q in %s", rec.Op, filepath.Base(path))
+			continue
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("service: read %s: %w", filepath.Base(path), err)
+	}
+	return n, nil
+}
+
+// append durably logs one record (write + fsync before returning, so an
+// acknowledged PUT/DELETE survives a kill).
+func (w *metaWAL) append(rec walRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: wal encode: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("service: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("service: wal sync: %w", err)
+	}
+	w.records++
+	return nil
+}
+
+func (w *metaWAL) appendPut(key string, m *objectMeta) error {
+	return w.append(walRecord{Op: "put", Key: key, Size: m.size, SKey: m.skey, OSDs: m.osds, OK: m.ok})
+}
+
+func (w *metaWAL) appendDelete(key string) error {
+	return w.append(walRecord{Op: "del", Key: key})
+}
+
+// shouldCompact reports whether the WAL has outgrown the live index.
+func (w *metaWAL) shouldCompact() bool { return w.records >= w.compact }
+
+// compactTo snapshots the given index and truncates the WAL. The caller
+// holds the gateway lock, so the index is consistent with the log.
+func (w *metaWAL) compactTo(objects map[string]*objectMeta) error {
+	tmp := filepath.Join(w.dir, snapFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for key, m := range objects {
+		if err := enc.Encode(walRecord{Op: "put", Key: key, Size: m.size, SKey: m.skey, OSDs: m.osds, OK: m.ok}); err != nil {
+			f.Close()
+			return fmt.Errorf("service: snapshot encode: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: snapshot flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapFileName)); err != nil {
+		return fmt.Errorf("service: snapshot rename: %w", err)
+	}
+	// The snapshot now covers everything: start a fresh WAL. O_TRUNC on
+	// the live path (rather than rename) keeps the fd simple; a crash
+	// between rename and truncate only replays records the snapshot
+	// already holds, which is idempotent.
+	old := w.f
+	nf, err := os.OpenFile(filepath.Join(w.dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: wal reset: %w", err)
+	}
+	w.f = nf
+	w.records = 0
+	_ = old.Close()
+	return nil
+}
+
+// Close releases the WAL file.
+func (w *metaWAL) Close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// WALSize reports the current WAL byte size (test/ops visibility).
+func (w *metaWAL) size() int64 {
+	st, err := w.f.Stat()
+	if err != nil {
+		return -1
+	}
+	return st.Size()
+}

@@ -1,0 +1,894 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ecarray/internal/crush"
+)
+
+// buildGateway wires a gateway over the given 6 stores with a uniform
+// 3×2 CRUSH map — the fixture for resilience tests that need custom
+// (flaky, slow, counting) shard stores.
+func buildGateway(t *testing.T, stores []ShardStore, mutate func(*GatewayConfig)) *Gateway {
+	t.Helper()
+	placer, err := NewPlacer(crush.Uniform(3, 2), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGatewayConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := NewGateway(cfg, stores, placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw
+}
+
+func memStores(n int) []ShardStore {
+	stores := make([]ShardStore, n)
+	for i := range stores {
+		ms := NewMemStore(i)
+		ms.SetHost(fmt.Sprintf("node%d", i))
+		stores[i] = ms
+	}
+	return stores
+}
+
+// fastRetries shrinks the retry/hedge timings so tests stay quick.
+func fastRetries(cfg *GatewayConfig) {
+	cfg.RetryBase = time.Millisecond
+	cfg.RetryMax = 4 * time.Millisecond
+}
+
+// TestBreakerTransitions walks the closed → open → half-open → closed and
+// half-open → open paths with explicit clocks.
+func TestBreakerTransitions(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewBreaker(3, 10*time.Second)
+
+	if !b.Allow(t0) || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker must be closed and allowing")
+	}
+	b.Record(false, t0)
+	b.Record(false, t0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("2 of 3 failures: state %v, want closed", b.State())
+	}
+	b.Record(false, t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("3rd consecutive failure: state %v, want open", b.State())
+	}
+	if b.Allow(t0.Add(5 * time.Second)) {
+		t.Fatal("open breaker allowed an op before the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe goes through.
+	probeAt := t0.Add(11 * time.Second)
+	if !b.Allow(probeAt) {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("second op allowed while the probe is in flight")
+	}
+
+	// Failed probe re-opens.
+	b.Record(false, probeAt)
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe: state %v, want open", b.State())
+	}
+	if b.Allow(probeAt.Add(5 * time.Second)) {
+		t.Fatal("failed probe must re-arm the cooldown")
+	}
+
+	// Successful probe closes and resets.
+	probe2 := probeAt.Add(11 * time.Second)
+	if !b.Allow(probe2) {
+		t.Fatal("second cooldown elapsed: probe must be allowed")
+	}
+	b.Record(true, probe2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful probe: state %v, want closed", b.State())
+	}
+	if b.FailureRate() != 0 {
+		t.Fatalf("close must reset the EWMA, got %v", b.FailureRate())
+	}
+	// A single new failure must not instantly re-trip.
+	b.Record(false, probe2)
+	if b.State() != BreakerClosed {
+		t.Fatal("one failure after close re-tripped the breaker")
+	}
+}
+
+// TestBreakerEWMATrip checks the gray-failure criterion: an OSD failing
+// most-but-not-all ops trips via the decayed failure rate even though
+// occasional successes keep resetting the consecutive counter.
+func TestBreakerEWMATrip(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := NewBreaker(100, time.Second) // consecutive criterion out of reach
+	// F S F F F → EWMA 1, .70, .79, .853, .897; min-samples gate holds the
+	// trip until sample 5.
+	for i, ok := range []bool{false, true, false, false} {
+		b.Record(ok, t0)
+		if b.State() != BreakerClosed {
+			t.Fatalf("sample %d: tripped early (ewma %v)", i+1, b.FailureRate())
+		}
+	}
+	b.Record(false, t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("sustained failure rate %v did not trip", b.FailureRate())
+	}
+}
+
+// TestBreakerDisabled: threshold 0 never blocks and never trips.
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Second)
+	t0 := time.Unix(3000, 0)
+	for i := 0; i < 10; i++ {
+		b.Record(false, t0)
+	}
+	if !b.Allow(t0) || b.State() != BreakerClosed {
+		t.Fatal("disabled breaker must stay closed")
+	}
+}
+
+// flakyStore fails the next N Get calls with a transient error, then
+// passes through.
+type flakyStore struct {
+	*MemStore
+	mu       sync.Mutex
+	failGets int
+	gets     int
+}
+
+var errBlip = errors.New("transient blip")
+
+func (s *flakyStore) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	s.mu.Lock()
+	s.gets++
+	fail := s.failGets > 0
+	if fail {
+		s.failGets--
+	}
+	s.mu.Unlock()
+	if fail {
+		return nil, errBlip
+	}
+	return s.MemStore.Get(ctx, key, shard)
+}
+
+// TestRetryThenSucceed: every store fails its first GET attempt; the
+// bounded retry recovers each shard, so the read is clean (not degraded)
+// and the retry counter reflects exactly one retry per fetched shard.
+func TestRetryThenSucceed(t *testing.T) {
+	stores := make([]ShardStore, 6)
+	flaky := make([]*flakyStore, 6)
+	for i := range stores {
+		flaky[i] = &flakyStore{MemStore: NewMemStore(i)}
+		stores[i] = flaky[i]
+	}
+	gw := buildGateway(t, stores, func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = 0 // isolate the retry path
+	})
+	ctx := context.Background()
+	data := payload(256<<10, 21)
+	if _, err := gw.PutObject(ctx, "flaky/obj", data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	for i := range flaky {
+		flaky[i].mu.Lock()
+		flaky[i].failGets = 1
+		flaky[i].mu.Unlock()
+	}
+	got, info, err := gw.GetObject(ctx, "flaky/obj")
+	if err != nil {
+		t.Fatalf("get with transient blips: %v", err)
+	}
+	if info.Degraded {
+		t.Fatalf("retries should have recovered every shard, got %+v", info)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+	if n := gw.Metrics().Counter(`ecgate_shard_retries_total{op="get"}`).Value(); n != int64(gw.cfg.K) {
+		t.Fatalf("retries = %d, want %d (one per data shard)", n, gw.cfg.K)
+	}
+}
+
+// TestRetryExhausted: persistently failing stores exhaust the retry
+// budget; the read runs out of shards and surfaces ErrInsufficientShards.
+func TestRetryExhausted(t *testing.T) {
+	stores := make([]ShardStore, 6)
+	flaky := make([]*flakyStore, 6)
+	for i := range stores {
+		flaky[i] = &flakyStore{MemStore: NewMemStore(i)}
+		stores[i] = flaky[i]
+	}
+	gw := buildGateway(t, stores, func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = 0
+		cfg.BreakerThreshold = 0 // isolate retry exhaustion from the breaker
+	})
+	ctx := context.Background()
+	if _, err := gw.PutObject(ctx, "doomed", payload(64<<10, 22)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	for i := range flaky {
+		flaky[i].mu.Lock()
+		flaky[i].failGets = 1 << 20
+		flaky[i].mu.Unlock()
+	}
+	if _, _, err := gw.GetObject(ctx, "doomed"); !errors.Is(err, ErrInsufficientShards) {
+		t.Fatalf("exhausted retries: got %v, want ErrInsufficientShards", err)
+	}
+	// Every fetch burned its full budget: (k data + m parity) × Retries.
+	want := int64((gw.cfg.K + gw.cfg.M) * gw.cfg.Retries)
+	if n := gw.Metrics().Counter(`ecgate_shard_retries_total{op="get"}`).Value(); n != want {
+		t.Fatalf("retries = %d, want %d", n, want)
+	}
+}
+
+// stallOnceStore hangs each shard's first Get until the caller's context
+// is cancelled; later attempts pass through — the hedged-read fixture.
+type stallOnceStore struct {
+	*MemStore
+	mu      sync.Mutex
+	stalled map[string]bool
+}
+
+func (s *stallOnceStore) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	id := fmt.Sprintf("%s/%d", key, shard)
+	s.mu.Lock()
+	first := !s.stalled[id]
+	s.stalled[id] = true
+	s.mu.Unlock()
+	if first {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return s.MemStore.Get(ctx, key, shard)
+}
+
+// TestHedgedReadWin: first attempts hang, the hedge launched after
+// HedgeDelay wins every shard, the read is clean, and — truthful scoring —
+// the cancelled losers are not recorded against health or breakers.
+func TestHedgedReadWin(t *testing.T) {
+	stores := make([]ShardStore, 6)
+	for i := range stores {
+		stores[i] = &stallOnceStore{MemStore: NewMemStore(i), stalled: map[string]bool{}}
+	}
+	gw := buildGateway(t, stores, func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = 10 * time.Millisecond
+	})
+	ctx := context.Background()
+	data := payload(128<<10, 23)
+	if _, err := gw.PutObject(ctx, "stuck/obj", data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, info, err := gw.GetObject(ctx, "stuck/obj")
+	if err != nil {
+		t.Fatalf("get with stalled first attempts: %v", err)
+	}
+	if info.Degraded {
+		t.Fatalf("hedges should have served every shard, got %+v", info)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+	hedged := gw.Metrics().Counter("ecgate_hedged_reads_total").Value()
+	wins := gw.Metrics().Counter("ecgate_hedge_wins_total").Value()
+	if hedged != int64(gw.cfg.K) || wins != int64(gw.cfg.K) {
+		t.Fatalf("hedged=%d wins=%d, want %d each", hedged, wins, gw.cfg.K)
+	}
+	// The losers were cancelled, not failed: no breaker or health damage.
+	for osd := 0; osd < 6; osd++ {
+		if st := gw.Breaker(osd).State(); st != BreakerClosed {
+			t.Fatalf("osd %d breaker %v after hedge wins, want closed", osd, st)
+		}
+		if r := gw.Breaker(osd).FailureRate(); r != 0 {
+			t.Fatalf("osd %d failure rate %v after hedge wins, want 0", osd, r)
+		}
+	}
+	st := gw.Status()
+	if st.HedgedReads != hedged {
+		t.Fatalf("status hedged_reads %d != counter %d", st.HedgedReads, hedged)
+	}
+}
+
+// TestBreakerRoutesAroundPartition: a partitioned OSD trips its breaker,
+// after which the gateway stops contacting it entirely (the injection
+// counter freezes) while reads keep succeeding byte-identically; clearing
+// the fault and waiting out the cooldown closes the breaker via a probe.
+func TestBreakerRoutesAroundPartition(t *testing.T) {
+	gw := buildGateway(t, memStores(6), func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.BreakerCooldown = 50 * time.Millisecond
+	})
+	ctx := context.Background()
+	payloads := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("part/obj-%d", i)
+		payloads[key] = payload(64<<10+i, int64(30+i))
+		if _, err := gw.PutObject(ctx, key, payloads[key]); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+
+	if err := gw.FaultStore(0).SetFault(FaultSpec{Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	readAll := func(phase string) {
+		t.Helper()
+		for key, want := range payloads {
+			got, _, err := gw.GetObject(ctx, key)
+			if err != nil {
+				t.Fatalf("%s: get %s: %v", phase, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: get %s: payload mismatch", phase, key)
+			}
+		}
+	}
+	readAll("partitioned")
+	if st := gw.Breaker(0).State(); st != BreakerOpen {
+		t.Fatalf("breaker after partitioned reads: %v, want open", st)
+	}
+	if n := gw.Metrics().Counter("ecgate_breaker_trips_total").Value(); n < 1 {
+		t.Fatalf("breaker_trips_total = %d, want >= 1", n)
+	}
+
+	// Open breaker: the OSD is no longer contacted at all.
+	before := gw.FaultStore(0).FaultStats().Partitioned
+	readAll("breaker-open")
+	if after := gw.FaultStore(0).FaultStats().Partitioned; after != before {
+		t.Fatalf("open breaker still sent %d ops to the partitioned OSD", after-before)
+	}
+	if n := gw.Metrics().Counter("ecgate_breaker_skipped_total").Value(); n < 1 {
+		t.Fatalf("breaker_skipped_total = %d, want >= 1", n)
+	}
+	if st := gw.Status(); st.BreakersOpen != 1 {
+		t.Fatalf("status breakers_open = %d, want 1", st.BreakersOpen)
+	}
+	osds := gw.OSDStatuses(ctx)
+	if osds[0].Breaker != "open" {
+		t.Fatalf("/v1/osds breaker = %q, want open", osds[0].Breaker)
+	}
+
+	// Heal: clear the fault, wait out the cooldown; the next read probes
+	// the OSD and closes the breaker.
+	if err := gw.FaultStore(0).SetFault(FaultSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	readAll("healed")
+	if st := gw.Breaker(0).State(); st != BreakerClosed {
+		t.Fatalf("breaker after heal: %v, want closed", st)
+	}
+}
+
+// TestFaultStoreDeterminism: identical seeds and op sequences draw
+// identical injected outcomes.
+func TestFaultStoreDeterminism(t *testing.T) {
+	run := func() ([]bool, FaultStats) {
+		fs := NewFaultStore(NewMemStore(0), 0, 99)
+		if err := fs.SetFault(FaultSpec{ErrorProb: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		_ = fs.Put(ctx, "k", 0, []byte("v")) // may itself be injected
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			_, err := fs.Get(ctx, "k", 0)
+			outcomes[i] = err != nil
+		}
+		return outcomes, fs.FaultStats()
+	}
+	a, astats := run()
+	b, bstats := run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("outcome sequences differ:\n%v\n%v", a, b)
+	}
+	if astats != bstats {
+		t.Fatalf("stats differ: %+v vs %+v", astats, bstats)
+	}
+	injected := false
+	for _, f := range a {
+		if f {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("ErrorProb 0.3 over 64 ops injected nothing")
+	}
+}
+
+// TestFaultSpecValidation rejects out-of-range specs at the API boundary.
+func TestFaultSpecValidation(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(0), 0, 1)
+	for _, bad := range []FaultSpec{
+		{ErrorProb: 1.5}, {ErrorProb: -0.1}, {StuckProb: 2}, {LatencyMult: -1}, {DelayMs: -5},
+	} {
+		if err := fs.SetFault(bad); err == nil {
+			t.Fatalf("spec %+v accepted, want error", bad)
+		}
+	}
+	if fs.Fault().Active() {
+		t.Fatal("rejected specs must not replace the live spec")
+	}
+}
+
+// TestWALReplayRestart is the crash-safety acceptance test: a gateway is
+// abandoned (no Close — the moral equivalent of SIGKILL, since every
+// append is fsynced) and a fresh gateway over the same MetaDir and stores
+// must serve every surviving object byte-identically, keep deleted
+// objects deleted, and resume the generation counter above the replayed
+// maximum.
+func TestWALReplayRestart(t *testing.T) {
+	dir := t.TempDir()
+	stores := memStores(6)
+	mk := func() *Gateway {
+		return buildGateway(t, stores, func(cfg *GatewayConfig) {
+			cfg.MetaDir = dir
+		})
+	}
+	ctx := context.Background()
+	gw1 := mk()
+	a := payload(200<<10+7, 41)
+	b1 := payload(96<<10, 42)
+	b2 := payload(128<<10+3, 43) // overwrite
+	c := payload(32<<10, 44)
+	for _, put := range []struct {
+		key  string
+		data []byte
+	}{{"wal/a", a}, {"wal/b", b1}, {"wal/b", b2}, {"wal/c", c}} {
+		if _, err := gw1.PutObject(ctx, put.key, put.data); err != nil {
+			t.Fatalf("put %s: %v", put.key, err)
+		}
+	}
+	if err := gw1.DeleteObject(ctx, "wal/c"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	oldGen := genOf(gw1.objects["wal/b"].skey)
+	// gw1 is abandoned here: no Close, no shutdown.
+
+	gw2 := mk()
+	for key, want := range map[string][]byte{"wal/a": a, "wal/b": b2} {
+		got, info, err := gw2.GetObject(ctx, key)
+		if err != nil {
+			t.Fatalf("restarted get %s: %v", key, err)
+		}
+		if info.Degraded {
+			t.Fatalf("restarted get %s unexpectedly degraded", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("restarted get %s: payload mismatch", key)
+		}
+	}
+	if _, _, err := gw2.GetObject(ctx, "wal/c"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted object resurrected: %v", err)
+	}
+	st := gw2.Status()
+	if st.Objects != 2 || st.BytesStored != int64(len(a)+len(b2)) {
+		t.Fatalf("restarted status %+v, want 2 objects / %d bytes", st, len(a)+len(b2))
+	}
+	// New PUTs must not collide with replayed generations: a fresh write
+	// under an old key gets a strictly newer generation stamp.
+	if _, err := gw2.PutObject(ctx, "wal/b", payload(4096, 45)); err != nil {
+		t.Fatalf("put after restart: %v", err)
+	}
+	if g := genOf(gw2.objects["wal/b"].skey); g <= oldGen {
+		t.Fatalf("generation did not resume: %d <= %d", g, oldGen)
+	}
+	if err := gw2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestWALCompaction: the snapshot bounds the WAL — after many updates the
+// live log stays under the threshold and a restart still recovers the
+// latest state.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	stores := memStores(6)
+	mk := func() *Gateway {
+		return buildGateway(t, stores, func(cfg *GatewayConfig) {
+			cfg.MetaDir = dir
+			cfg.MetaCompactThreshold = 8
+		})
+	}
+	ctx := context.Background()
+	gw := mk()
+	var last []byte
+	for i := 0; i < 40; i++ {
+		last = payload(8<<10, int64(50+i))
+		key := fmt.Sprintf("cpt/obj-%d", i%4) // heavy overwrite churn
+		if _, err := gw.PutObject(ctx, key, last); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if gw.wal.records >= 8 {
+		t.Fatalf("wal holds %d records after compaction, want < 8", gw.wal.records)
+	}
+	if n := gw.Metrics().Counter("ecgate_wal_compactions_total").Value(); n < 4 {
+		t.Fatalf("wal_compactions_total = %d, want >= 4", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFileName)); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	// The live WAL is bounded: at most threshold records of a few hundred
+	// bytes each, nowhere near 40 full records.
+	if sz := gw.wal.size(); sz < 0 || sz > 8*512 {
+		t.Fatalf("wal size %d bytes, want bounded under %d", sz, 8*512)
+	}
+
+	gw2 := mk()
+	got, _, err := gw2.GetObject(ctx, "cpt/obj-3")
+	if err != nil {
+		t.Fatalf("get after compacted restart: %v", err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("compacted restart lost the latest overwrite")
+	}
+}
+
+// TestWALTornTail: a crash mid-append leaves a torn final line, which
+// replay must tolerate; corruption earlier in the file must not pass.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(key string) string {
+		b, _ := json.Marshal(walRecord{Op: "put", Key: key, Size: 1, SKey: key + "@7", OSDs: []int{0}, OK: []bool{true}})
+		return string(b) + "\n"
+	}
+	walPath := filepath.Join(dir, walFileName)
+	if err := os.WriteFile(walPath, []byte(rec("a")+rec("b")+`{"op":"put","key":"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, objects, maxGen, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("torn tail must replay: %v", err)
+	}
+	defer w.Close()
+	if len(objects) != 2 || objects["a"] == nil || objects["b"] == nil {
+		t.Fatalf("replayed %d objects, want a and b", len(objects))
+	}
+	if maxGen != 7 {
+		t.Fatalf("maxGen = %d, want 7", maxGen)
+	}
+
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, walFileName),
+		[]byte(rec("a")+"{corrupt}\n"+rec("b")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := openMetaWAL(dir2, 0); err == nil {
+		t.Fatal("mid-file corruption must be an error, not silently skipped")
+	}
+}
+
+// TestChaosAcceptance is the ISSUE acceptance run: 10% injected shard
+// errors, 5× latency and occasional stalls on two OSDs; 200 PUT/GET
+// cycles must all succeed byte-identically (zero client-visible errors),
+// with the retry and hedge machinery demonstrably doing the work.
+func TestChaosAcceptance(t *testing.T) {
+	gw := buildGateway(t, memStores(6), func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = 20 * time.Millisecond
+		cfg.ShardTimeout = time.Second
+		cfg.BreakerCooldown = 50 * time.Millisecond
+	})
+	ctx := context.Background()
+	flaky := FaultSpec{ErrorProb: 0.1, LatencyMult: 5, StuckProb: 0.05, StuckMs: 50}
+	for _, osd := range []int{0, 1} {
+		if err := gw.FaultStore(osd).SetFault(flaky); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payloads := map[string][]byte{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("chaos/obj-%d", i)
+		payloads[key] = payload(4<<10+i*13, int64(100+i))
+		if _, err := gw.PutObject(ctx, key, payloads[key]); err != nil {
+			t.Fatalf("cycle %d put: %v", i, err)
+		}
+		got, _, err := gw.GetObject(ctx, key)
+		if err != nil {
+			t.Fatalf("cycle %d get: %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[key]) {
+			t.Fatalf("cycle %d: payload mismatch", i)
+		}
+	}
+	var retries int64
+	for _, op := range []string{"get", "put", "delete"} {
+		retries += gw.Metrics().Counter(fmt.Sprintf("ecgate_shard_retries_total{op=%q}", op)).Value()
+	}
+	if retries == 0 {
+		t.Fatal("10% injected errors over 200 cycles produced zero retries")
+	}
+	if gw.Metrics().Counter("ecgate_hedged_reads_total").Value() == 0 {
+		t.Fatal("injected stalls produced zero hedged reads")
+	}
+	stats := gw.FaultStore(0).FaultStats()
+	if stats.Errors == 0 || stats.Stalls == 0 {
+		t.Fatalf("fault stats %+v: injection did not actually run", stats)
+	}
+
+	// Partition phase: breaker metrics must move, reads must hold.
+	if err := gw.FaultStore(0).SetFault(FaultSpec{Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("chaos/obj-%d", i)
+		got, _, err := gw.GetObject(ctx, key)
+		if err != nil {
+			t.Fatalf("partitioned get %s: %v", key, err)
+		}
+		if !bytes.Equal(got, payloads[key]) {
+			t.Fatalf("partitioned get %s: payload mismatch", key)
+		}
+	}
+	if gw.Metrics().Counter("ecgate_breaker_trips_total").Value() == 0 {
+		t.Fatal("partition did not trip a breaker")
+	}
+}
+
+// TestChaosNoLeak is the flip side of the acceptance run: with injection
+// off, none of the resilience machinery may fire — every new counter is
+// exactly zero, so the hot path is provably untouched by default.
+func TestChaosNoLeak(t *testing.T) {
+	gw := buildGateway(t, memStores(6), nil) // stock defaults, no faults
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("clean/obj-%d", i)
+		data := payload(16<<10+i, int64(200+i))
+		if _, err := gw.PutObject(ctx, key, data); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		got, info, err := gw.GetObject(ctx, key)
+		if err != nil || info.Degraded || !bytes.Equal(got, data) {
+			t.Fatalf("get: err=%v info=%+v", err, info)
+		}
+	}
+	for _, name := range []string{
+		`ecgate_shard_retries_total{op="get"}`,
+		`ecgate_shard_retries_total{op="put"}`,
+		`ecgate_shard_retries_total{op="delete"}`,
+		"ecgate_hedged_reads_total",
+		"ecgate_hedge_wins_total",
+		"ecgate_breaker_trips_total",
+		"ecgate_breaker_skipped_total",
+	} {
+		if n := gw.Metrics().Counter(name).Value(); n != 0 {
+			t.Fatalf("%s = %d on the healthy path, want exactly 0", name, n)
+		}
+	}
+	st := gw.Status()
+	if st.Retries != 0 || st.HedgedReads != 0 || st.BreakersOpen != 0 {
+		t.Fatalf("status leaked resilience activity: %+v", st)
+	}
+}
+
+// TestRequestIDPropagation: the ID a client sends with an object request
+// must arrive on every shard request at every OSD daemon, and a request
+// without one gets a generated ID that propagates just the same.
+func TestRequestIDPropagation(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	stores := make([]ShardStore, 6)
+	for i := range stores {
+		inner := NewOSDServer(i, NewMemStore(i), nil).Handler()
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen[r.Header.Get(RequestIDHeader)]++
+			mu.Unlock()
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		stores[i] = NewOSDClient(i, srv.URL)
+	}
+	placer, err := NewPlacer(crush.Uniform(6, 1), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGatewayConfig()
+	gw, err := NewGateway(cfg, stores, placer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrv := httptest.NewServer(gw.Handler())
+	t.Cleanup(gsrv.Close)
+	gc := NewGateClient(gsrv.URL)
+
+	// Client-supplied ID: forwarded verbatim to all k+m shard PUTs.
+	ctx := WithRequestID(context.Background(), "rid-e2e-42")
+	if _, err := gc.PutObject(ctx, "rid/obj", payload(64<<10, 61)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	mu.Lock()
+	n := seen["rid-e2e-42"]
+	mu.Unlock()
+	if n != cfg.K+cfg.M {
+		t.Fatalf("client request ID reached %d shard requests, want %d", n, cfg.K+cfg.M)
+	}
+
+	// No client ID: the gateway generates one; no shard request may go out
+	// unlabelled.
+	mu.Lock()
+	for k := range seen {
+		delete(seen, k)
+	}
+	mu.Unlock()
+	if _, _, err := gc.GetObject(context.Background(), "rid/obj"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[""] != 0 {
+		t.Fatalf("%d shard requests carried no request ID", seen[""])
+	}
+	if len(seen) != 1 {
+		t.Fatalf("generated ID not uniform across shard requests: %v", seen)
+	}
+}
+
+// TestGateClientRetry: the client transparently retries 429/503 honoring
+// Retry-After, succeeds once the server recovers, and surfaces the final
+// status once the budget is exhausted.
+func TestGateClientRetry(t *testing.T) {
+	var mu sync.Mutex
+	fails := 2
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		reject := fails > 0
+		if reject {
+			fails--
+		}
+		mu.Unlock()
+		if reject {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded"})
+			return
+		}
+		writeJSON(w, http.StatusOK, ObjectInfo{Key: "k", Size: 3, Shards: 6, Written: 6})
+	}))
+	t.Cleanup(srv.Close)
+	gc := NewGateClient(srv.URL)
+	gc.maxRetryWait = 10 * time.Millisecond
+	ctx := context.Background()
+
+	oi, err := gc.PutObject(ctx, "k", []byte("abc"))
+	if err != nil {
+		t.Fatalf("put through two 429s: %v", err)
+	}
+	if oi.Size != 3 {
+		t.Fatalf("decoded %+v after retries", oi)
+	}
+	mu.Lock()
+	total := hits
+	mu.Unlock()
+	if total != 3 {
+		t.Fatalf("server saw %d attempts, want 3", total)
+	}
+
+	// Budget exhausted: the original status surfaces.
+	mu.Lock()
+	fails, hits = 1<<20, 0
+	mu.Unlock()
+	var se *StatusError
+	if _, err := gc.PutObject(ctx, "k", []byte("abc")); !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("persistent 429: got %v, want StatusError 429", err)
+	}
+	mu.Lock()
+	total = hits
+	mu.Unlock()
+	if total != 3 {
+		t.Fatalf("server saw %d attempts with budget 2, want 3", total)
+	}
+
+	// Retries disabled: one attempt only.
+	gc.SetRetries(0)
+	mu.Lock()
+	hits = 0
+	mu.Unlock()
+	if _, err := gc.PutObject(ctx, "k", []byte("abc")); !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("retries disabled: got %v, want StatusError 429", err)
+	}
+	mu.Lock()
+	total = hits
+	mu.Unlock()
+	if total != 1 {
+		t.Fatalf("server saw %d attempts with retries disabled, want 1", total)
+	}
+}
+
+// TestWaitReadyCancel: a cancelled context aborts the readiness poll
+// promptly instead of burning the full timeout.
+func TestWaitReadyCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError) // never ready
+	}))
+	t.Cleanup(srv.Close)
+	gc := NewGateClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := gc.WaitReady(ctx, 30*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("WaitReady ignored cancellation for %v", time.Since(start))
+	}
+}
+
+// TestFaultAdminEndpoints drives the /v1/faults surface over real HTTP on
+// both the gateway and an ecstored daemon.
+func TestFaultAdminEndpoints(t *testing.T) {
+	gc, _, gw := simService(t, nil)
+	ctx := context.Background()
+
+	spec := FaultSpec{ErrorProb: 0.25, LatencyMult: 2}
+	if err := gc.SetFault(ctx, 2, spec); err != nil {
+		t.Fatalf("set fault: %v", err)
+	}
+	if got := gw.FaultStore(2).Fault(); got != spec {
+		t.Fatalf("gateway spec %+v, want %+v", got, spec)
+	}
+	list, err := gc.Faults(ctx)
+	if err != nil {
+		t.Fatalf("list faults: %v", err)
+	}
+	if len(list) != 6 || list[2].Spec != spec || list[0].Spec.Active() {
+		t.Fatalf("fault list %+v", list)
+	}
+	// Out-of-range OSD and invalid spec are 400s.
+	if err := gc.SetFault(ctx, 99, spec); err == nil {
+		t.Fatal("osd 99 accepted")
+	}
+	if err := gc.SetFault(ctx, 1, FaultSpec{ErrorProb: 3}); err == nil {
+		t.Fatal("error_prob 3 accepted")
+	}
+	if err := gc.SetFault(ctx, 2, FaultSpec{}); err != nil {
+		t.Fatalf("clear fault: %v", err)
+	}
+
+	// ecstored daemon surface: only reachable when the store is wrapped.
+	fs := NewFaultStore(NewMemStore(4), 4, 1)
+	srv := httptest.NewServer(NewOSDServer(4, fs, nil).Handler())
+	t.Cleanup(srv.Close)
+	oc := NewOSDClient(4, srv.URL)
+	if err := oc.SetFault(ctx, FaultSpec{Partition: true}); err != nil {
+		t.Fatalf("ecstored set fault: %v", err)
+	}
+	if err := oc.Put(ctx, "x", 0, []byte("y")); !errors.Is(err, ErrOSDDown) {
+		t.Fatalf("partitioned daemon put: got %v, want ErrOSDDown", err)
+	}
+	if err := oc.SetFault(ctx, FaultSpec{}); err != nil {
+		t.Fatalf("ecstored clear fault: %v", err)
+	}
+	if err := oc.Put(ctx, "x", 0, []byte("y")); err != nil {
+		t.Fatalf("put after clear: %v", err)
+	}
+}

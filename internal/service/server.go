@@ -41,6 +41,8 @@ func (s *OSDServer) Metrics() *Registry { return s.reg }
 //	GET    /v1/shards/{key}/{idx}  read it
 //	DELETE /v1/shards/{key}/{idx}  remove it
 //	GET    /v1/stat                backend stat
+//	GET    /v1/faults              injection spec + stats (FaultStore backends)
+//	POST   /v1/faults[/{osd}]      set this daemon's network-fault spec
 //	GET    /metrics                Prometheus text exposition
 //	GET    /healthz                liveness
 func (s *OSDServer) Handler() http.Handler {
@@ -54,6 +56,22 @@ func (s *OSDServer) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/shards/{key}/{idx}", func(w http.ResponseWriter, r *http.Request) {
 		s.serveShard(w, r, "delete")
 	})
+	if fc, ok := s.store.(FaultControl); ok {
+		mux.HandleFunc("GET /v1/faults", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, []FaultStatus{{OSD: s.id, Spec: fc.Fault(), Stats: fc.FaultStats()}})
+		})
+		mux.HandleFunc("POST /v1/faults", func(w http.ResponseWriter, r *http.Request) {
+			serveSetFault(w, r, fc, s.id)
+		})
+		mux.HandleFunc("POST /v1/faults/{osd}", func(w http.ResponseWriter, r *http.Request) {
+			if osd, err := strconv.Atoi(r.PathValue("osd")); err != nil || osd != s.id {
+				writeJSON(w, http.StatusBadRequest,
+					errorBody{Error: fmt.Sprintf("this daemon is osd %d", s.id)})
+				return
+			}
+			serveSetFault(w, r, fc, s.id)
+		})
+	}
 	mux.HandleFunc("GET /v1/stat", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.store.Stat(r.Context())
 		if err != nil {
@@ -91,6 +109,7 @@ func shardStatus(err error) int {
 func (s *OSDServer) serveShard(w http.ResponseWriter, r *http.Request, op string) {
 	start := time.Now()
 	key := r.PathValue("key")
+	reqID := requestID(w, r)
 	idx, idxErr := strconv.Atoi(r.PathValue("idx"))
 	var (
 		status int
@@ -144,6 +163,7 @@ func (s *OSDServer) serveShard(w http.ResponseWriter, r *http.Request, op string
 	s.reg.Counter(fmt.Sprintf("ecstored_ops_total{op=%q,code=\"%d\"}", op, status)).Inc()
 	s.reg.Histogram(fmt.Sprintf("ecstored_op_seconds{op=%q}", op)).Observe(time.Since(start))
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "shard",
+		slog.String("request_id", reqID),
 		slog.String("op", op), slog.String("key", key), slog.Int("idx", idx),
 		slog.Int("status", status), slog.Int64("bytes", n),
 		slog.Float64("ms", float64(time.Since(start).Microseconds())/1e3))
