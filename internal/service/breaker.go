@@ -57,7 +57,8 @@ type Breaker struct {
 	ewma     float64 // decayed failure rate (1=fail)
 	samples  int
 	openedAt time.Time
-	probing  bool // half-open probe in flight
+	probing  bool      // half-open probe in flight
+	probeAt  time.Time // when the in-flight probe was admitted
 
 	onTrip func() // optional trip hook (metrics)
 }
@@ -72,7 +73,10 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // Allow reports whether an op may be sent to this OSD at time now. In the
 // open state it returns false until the cooldown elapses, then admits
 // exactly one probe (half-open); further calls return false until the
-// probe's outcome is recorded.
+// probe's outcome is recorded — or, if the probe has been outstanding for
+// a full cooldown without an outcome (it was cancelled without being
+// scored, e.g. by a client disconnect), a replacement probe is admitted
+// so the breaker can never wedge half-open forever.
 func (b *Breaker) Allow(now time.Time) bool {
 	if b == nil || b.threshold <= 0 {
 		return true
@@ -88,12 +92,14 @@ func (b *Breaker) Allow(now time.Time) bool {
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
+		b.probeAt = now
 		return true
 	case BreakerHalfOpen:
-		if b.probing {
+		if b.probing && now.Sub(b.probeAt) < b.cooldown {
 			return false
 		}
 		b.probing = true
+		b.probeAt = now
 		return true
 	}
 	return true

@@ -207,10 +207,11 @@ type Gateway struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand // retry-jitter source (seeded)
 
-	mu      sync.RWMutex
-	objects map[string]*objectMeta
-	stored  int64    // sum of object sizes
-	wal     *metaWAL // nil when MetaDir is unset
+	mu         sync.RWMutex
+	objects    map[string]*objectMeta
+	stored     int64    // sum of object sizes
+	wal        *metaWAL // nil when MetaDir is unset
+	compacting bool     // a snapshot write is running outside the lock
 
 	health []osdHealth
 }
@@ -376,9 +377,16 @@ func (g *Gateway) backoff(attempt int) time.Duration {
 }
 
 // score feeds one completed attempt's truthful outcome into the health
-// tracker, the circuit breaker and the per-op latency histogram.
-func (g *Gateway) score(osd int, op string, err error, dur time.Duration) {
+// tracker, the circuit breaker and the per-op latency histogram. ctx is
+// the parent request context: a failure caused by its cancellation or
+// deadline (client disconnect, request timeout) says nothing about the
+// OSD's health and must not count against it — a burst of disconnects
+// would otherwise trip breakers on perfectly healthy OSDs.
+func (g *Gateway) score(ctx context.Context, osd int, op string, err error, dur time.Duration) {
 	g.reg.Histogram(fmt.Sprintf("ecgate_shard_seconds{op=%q}", op)).Observe(dur)
+	if err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil) {
+		return
+	}
 	g.noteResult(osd, err)
 	g.breakers[osd].Record(err == nil || errors.Is(err, ErrNotFound), time.Now())
 	g.reg.Gauge(fmt.Sprintf("ecgate_breaker_state{osd=\"%d\"}", osd)).Set(int64(g.breakers[osd].State()))
@@ -391,7 +399,7 @@ func (g *Gateway) attempt(ctx context.Context, osd int, op string, fn func(ctx c
 	sctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
 	err := fn(sctx)
 	cancel()
-	g.score(osd, op, err, time.Since(start))
+	g.score(ctx, osd, op, err, time.Since(start))
 	return err
 }
 
@@ -405,15 +413,20 @@ func (g *Gateway) allow(osd int) bool {
 	return false
 }
 
-// shardOp is the write/delete-side shard op: breaker gate, then up to
-// 1+Retries attempts with exponential backoff and seeded jitter on
-// transient failures.
+// shardOp is the write/delete-side shard op: up to 1+Retries attempts
+// with exponential backoff and seeded jitter on transient failures. The
+// breaker is consulted before EVERY attempt, not just the first, so a
+// circuit that trips mid-loop (including on our own failed half-open
+// probe) stops the retries immediately.
 func (g *Gateway) shardOp(ctx context.Context, osd int, op string, fn func(ctx context.Context) error) error {
-	if !g.allow(osd) {
-		return errCircuitOpen
-	}
 	var err error
 	for a := 0; ; a++ {
+		if !g.allow(osd) {
+			if err == nil {
+				err = errCircuitOpen
+			}
+			return err
+		}
 		err = g.attempt(ctx, osd, op, fn)
 		if err == nil || !transient(err) || a >= g.cfg.Retries || ctx.Err() != nil {
 			return err
@@ -433,7 +446,9 @@ func (g *Gateway) hedgedGet(ctx context.Context, skey string, shard, osd int) ([
 	run := func(c context.Context) ([]byte, error) {
 		return g.stores[osd].Get(c, skey, shard)
 	}
-	if g.cfg.HedgeDelay <= 0 {
+	// No hedging while the OSD's breaker is half-open: the breaker admitted
+	// exactly one probe, and a hedge would double it behind its back.
+	if g.cfg.HedgeDelay <= 0 || g.breakers[osd].State() == BreakerHalfOpen {
 		var data []byte
 		err := g.attempt(ctx, osd, "get", func(c context.Context) error {
 			var e error
@@ -460,7 +475,7 @@ func (g *Gateway) hedgedGet(ctx context.Context, skey string, shard, osd int) ([
 			defer scancel()
 			data, err := run(sctx)
 			if cctx.Err() == nil {
-				g.score(osd, "get", err, time.Since(start))
+				g.score(ctx, osd, "get", err, time.Since(start))
 			}
 			ch <- res{data, err, hedge}
 		}()
@@ -496,17 +511,21 @@ func (g *Gateway) hedgedGet(ctx context.Context, skey string, shard, osd int) ([
 	}
 }
 
-// fetchShard is the read-side shard op: breaker gate, hedged GET, bounded
-// retry on transient failures, length validation.
+// fetchShard is the read-side shard op: breaker gate (re-checked before
+// every attempt, so a circuit tripping mid-loop stops the retries),
+// hedged GET, bounded retry on transient failures, length validation.
 func (g *Gateway) fetchShard(ctx context.Context, skey string, shard, osd int, want int64) ([]byte, error) {
-	if !g.allow(osd) {
-		return nil, errCircuitOpen
-	}
 	var (
 		data []byte
 		err  error
 	)
 	for a := 0; ; a++ {
+		if !g.allow(osd) {
+			if err == nil {
+				err = errCircuitOpen
+			}
+			return nil, err
+		}
 		data, err = g.hedgedGet(ctx, skey, shard, osd)
 		if err == nil {
 			if int64(len(data)) != want {
@@ -639,18 +658,40 @@ func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (Objec
 	g.stored += meta.size
 	objs := len(g.objects)
 	stored := g.stored
+	var snap map[string]*objectMeta
 	if g.wal != nil {
 		g.reg.Counter("ecgate_wal_records_total").Inc()
-		if g.wal.shouldCompact() {
-			if err := g.wal.compactTo(g.objects); err != nil {
-				g.log.LogAttrs(ctx, slog.LevelError, "wal compaction failed",
+		if g.wal.shouldCompact() && !g.compacting {
+			// Rotate under the lock (rename + fresh file, cheap); the
+			// expensive snapshot marshal+fsync runs after Unlock so
+			// compaction never stalls other requests. objectMeta values are
+			// immutable once indexed, so a shallow copy is a consistent
+			// rotation-point snapshot.
+			g.compacting = true
+			if err := g.wal.rotate(); err != nil {
+				// Safe either way: the full-index snapshot below also
+				// covers the records still sitting in the unrotated WAL.
+				g.log.LogAttrs(ctx, slog.LevelError, "wal rotation failed",
 					slog.String("error", err.Error()))
-			} else {
-				g.reg.Counter("ecgate_wal_compactions_total").Inc()
+			}
+			snap = make(map[string]*objectMeta, len(g.objects))
+			for k, m := range g.objects {
+				snap[k] = m
 			}
 		}
 	}
 	g.mu.Unlock()
+	if snap != nil {
+		if err := g.wal.writeSnapshot(snap); err != nil {
+			g.log.LogAttrs(ctx, slog.LevelError, "wal compaction failed",
+				slog.String("error", err.Error()))
+		} else {
+			g.reg.Counter("ecgate_wal_compactions_total").Inc()
+		}
+		g.mu.Lock()
+		g.compacting = false
+		g.mu.Unlock()
+	}
 	if old != nil {
 		// Best-effort cleanup of the superseded generation's shards.
 		g.deleteShards(ctx, old, "put")

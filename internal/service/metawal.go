@@ -2,8 +2,10 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,16 +21,28 @@ import (
 //
 // Layout under MetaDir:
 //
-//	meta.snap   full object index at the last compaction (JSONL of puts)
-//	meta.wal    records appended since, fsynced per append
+//	meta.snap     full object index at the last compaction (JSONL of puts)
+//	meta.wal      records appended since, fsynced per append
+//	meta.wal.old  the rotated log of an in-progress compaction (transient)
 //
-// Compaction rewrites meta.snap from the live index (tmp file + rename,
-// so a crash mid-compaction keeps the previous snapshot) and truncates
-// the WAL, bounding replay work and on-disk size.
+// Compaction is two-phase so the expensive part runs outside the gateway
+// lock: rotate (under the lock: rename meta.wal → meta.wal.old, fresh
+// empty meta.wal) then writeSnapshot (no lock: marshal the rotated-point
+// index copy to meta.snap via tmp+rename, drop meta.wal.old). A crash at
+// any point replays snap + wal.old + wal — record replay is idempotent,
+// so re-applying records the snapshot already covers is harmless — and
+// startup finishes any interrupted compaction it finds.
+//
+// Torn tails: an append is acknowledged only after the full "record\n"
+// line is written and fsynced, so any trailing bytes that do not form a
+// newline-terminated record were never acknowledged. Replay ignores them
+// and startup truncates them away, so the next append starts on a fresh
+// line instead of concatenating onto the partial one.
 
 const (
-	walFileName  = "meta.wal"
-	snapFileName = "meta.snap"
+	walFileName    = "meta.wal"
+	walOldFileName = "meta.wal.old"
+	snapFileName   = "meta.snap"
 )
 
 // walRecord is one JSONL line: op "put" carries the full object meta,
@@ -43,7 +57,9 @@ type walRecord struct {
 }
 
 // metaWAL is the gateway's durable metadata log. Callers (the gateway)
-// serialize access under their own lock so WAL order matches index order.
+// serialize append/rotate access under their own lock so WAL order
+// matches index order; writeSnapshot works on the caller's index copy
+// and may run concurrently with appends.
 type metaWAL struct {
 	dir     string
 	f       *os.File
@@ -66,23 +82,59 @@ func openMetaWAL(dir string, compactThreshold int) (*metaWAL, map[string]*object
 	if err := replayFile(filepath.Join(dir, snapFileName), objects); err != nil {
 		return nil, nil, 0, err
 	}
+	// A leftover rotated log means a compaction was interrupted before its
+	// snapshot landed; whether or not meta.snap already covers its records,
+	// replaying them is idempotent.
+	oldPath := filepath.Join(dir, walOldFileName)
+	hadOld := false
+	if _, err := os.Stat(oldPath); err == nil {
+		hadOld = true
+		if err := replayFile(oldPath, objects); err != nil {
+			return nil, nil, 0, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, 0, fmt.Errorf("service: stat %s: %w", walOldFileName, err)
+	}
 	w := &metaWAL{dir: dir, compact: compactThreshold}
-	n, err := replayCount(filepath.Join(dir, walFileName), objects)
+	walPath := filepath.Join(dir, walFileName)
+	n, good, err := replayWAL(walPath, objects)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	w.records = n
+	// Drop torn trailing bytes (crash mid-append) before reopening for
+	// append: the next record must start on a fresh line, or it would
+	// concatenate onto the partial one and corrupt both.
+	if st, serr := os.Stat(walPath); serr == nil && st.Size() > good {
+		if terr := os.Truncate(walPath, good); terr != nil {
+			return nil, nil, 0, fmt.Errorf("service: truncate torn wal tail: %w", terr)
+		}
+	}
 	maxGen := uint64(0)
 	for _, m := range objects {
 		if g := genOf(m.skey); g > maxGen {
 			maxGen = g
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("service: open wal: %w", err)
 	}
 	w.f = f
+	// Persist the directory entry itself (first boot creates meta.wal) so
+	// power loss cannot lose the file the fsynced appends land in.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if hadOld {
+		// Finish the interrupted compaction: the recovered index covers
+		// everything the rotated log held.
+		if err := w.writeSnapshot(objects); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
 	return w, objects, maxGen, nil
 }
 
@@ -103,53 +155,79 @@ func genOf(skey string) uint64 {
 // file is an empty log. A torn final line (crash mid-append) is ignored;
 // corruption anywhere else is an error.
 func replayFile(path string, objects map[string]*objectMeta) error {
-	_, err := replayCount(path, objects)
+	_, _, err := replayWAL(path, objects)
 	return err
 }
 
-func replayCount(path string, objects map[string]*objectMeta) (int, error) {
+// replayWAL applies a JSONL log to the index, returning the number of
+// records applied and the byte offset just past the last fully applied,
+// newline-terminated record. Anything beyond that offset — a partial line,
+// or a final line missing its newline (the append was cut short before it
+// could be acknowledged) — is a torn tail: tolerated here and truncated by
+// openMetaWAL before the log is appended to again. A bad line with more
+// records after it is real corruption and refuses to load.
+func replayWAL(path string, objects map[string]*objectMeta) (int, int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("service: open %s: %w", filepath.Base(path), err)
+		return 0, 0, fmt.Errorf("service: open %s: %w", filepath.Base(path), err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	n := 0
-	var pendingErr error
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(f, 64<<10)
+	var (
+		n    int
+		off  int64 // bytes consumed from the file so far
+		good int64 // offset just past the last fully applied record
+		torn error // first bad record, tolerated only as the tail
+	)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return n, good, fmt.Errorf("service: read %s: %w", filepath.Base(path), rerr)
 		}
-		if pendingErr != nil {
-			// A bad line followed by more records is real corruption, not
-			// a torn tail.
-			return n, pendingErr
+		if payload := bytes.TrimRight(line, "\r\n"); len(payload) > 0 {
+			if torn != nil {
+				// A bad line followed by more records is real corruption,
+				// not a torn tail.
+				return n, good, torn
+			}
+			var rec walRecord
+			aerr := json.Unmarshal(payload, &rec)
+			switch {
+			case aerr != nil:
+				torn = fmt.Errorf("service: corrupt record in %s: %w", filepath.Base(path), aerr)
+			case rerr == io.EOF:
+				// Parses, but the trailing newline never reached the disk:
+				// the append was never acknowledged.
+				torn = fmt.Errorf("service: unterminated record in %s", filepath.Base(path))
+			default:
+				switch rec.Op {
+				case "put":
+					objects[rec.Key] = &objectMeta{size: rec.Size, skey: rec.SKey, osds: rec.OSDs, ok: rec.OK}
+				case "del":
+					delete(objects, rec.Key)
+				default:
+					torn = fmt.Errorf("service: unknown wal op %q in %s", rec.Op, filepath.Base(path))
+				}
+				if torn == nil {
+					n++
+					off += int64(len(line))
+					good = off
+				}
+			}
+		} else {
+			// Blank line (or bare newline): harmless padding.
+			off += int64(len(line))
+			if torn == nil && rerr == nil {
+				good = off
+			}
 		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			pendingErr = fmt.Errorf("service: corrupt record in %s: %w", filepath.Base(path), err)
-			continue
+		if rerr == io.EOF {
+			return n, good, nil
 		}
-		switch rec.Op {
-		case "put":
-			objects[rec.Key] = &objectMeta{size: rec.Size, skey: rec.SKey, osds: rec.OSDs, ok: rec.OK}
-		case "del":
-			delete(objects, rec.Key)
-		default:
-			pendingErr = fmt.Errorf("service: unknown wal op %q in %s", rec.Op, filepath.Base(path))
-			continue
-		}
-		n++
 	}
-	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("service: read %s: %w", filepath.Base(path), err)
-	}
-	return n, nil
 }
 
 // append durably logs one record (write + fsync before returning, so an
@@ -181,9 +259,41 @@ func (w *metaWAL) appendDelete(key string) error {
 // shouldCompact reports whether the WAL has outgrown the live index.
 func (w *metaWAL) shouldCompact() bool { return w.records >= w.compact }
 
-// compactTo snapshots the given index and truncates the WAL. The caller
-// holds the gateway lock, so the index is consistent with the log.
-func (w *metaWAL) compactTo(objects map[string]*objectMeta) error {
+// rotate parks the live WAL as meta.wal.old and starts a fresh, empty
+// one. The caller holds the gateway lock (so no append interleaves) and
+// must follow up with writeSnapshot, which covers the parked records and
+// removes the parked file. Refuses to rotate while a previous rotation's
+// log still exists: those records are not yet covered by any snapshot,
+// and renaming over them would lose acknowledged writes.
+func (w *metaWAL) rotate() error {
+	oldPath := filepath.Join(w.dir, walOldFileName)
+	if _, err := os.Stat(oldPath); err == nil {
+		return fmt.Errorf("service: previous compaction incomplete: %s exists", walOldFileName)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("service: stat %s: %w", walOldFileName, err)
+	}
+	walPath := filepath.Join(w.dir, walFileName)
+	if err := os.Rename(walPath, oldPath); err != nil {
+		return fmt.Errorf("service: wal rotate: %w", err)
+	}
+	nf, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Roll the rename back so appends keep landing in a replayed path.
+		_ = os.Rename(oldPath, walPath)
+		return fmt.Errorf("service: wal reset: %w", err)
+	}
+	old := w.f
+	w.f = nf
+	w.records = 0
+	_ = old.Close()
+	return syncDir(w.dir)
+}
+
+// writeSnapshot atomically replaces meta.snap with the given index
+// (tmp + fsync + rename + dir fsync) and drops the rotated log the
+// snapshot now covers. Runs WITHOUT the gateway lock — the index is the
+// caller's own copy — so requests keep flowing during the marshal+fsync.
+func (w *metaWAL) writeSnapshot(objects map[string]*objectMeta) error {
 	tmp := filepath.Join(w.dir, snapFileName+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -211,18 +321,29 @@ func (w *metaWAL) compactTo(objects map[string]*objectMeta) error {
 	if err := os.Rename(tmp, filepath.Join(w.dir, snapFileName)); err != nil {
 		return fmt.Errorf("service: snapshot rename: %w", err)
 	}
-	// The snapshot now covers everything: start a fresh WAL. O_TRUNC on
-	// the live path (rather than rename) keeps the fd simple; a crash
-	// between rename and truncate only replays records the snapshot
-	// already holds, which is idempotent.
-	old := w.f
-	nf, err := os.OpenFile(filepath.Join(w.dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("service: wal reset: %w", err)
+	if err := syncDir(w.dir); err != nil {
+		return err
 	}
-	w.f = nf
-	w.records = 0
-	_ = old.Close()
+	if err := os.Remove(filepath.Join(w.dir, walOldFileName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: drop rotated wal: %w", err)
+	}
+	return syncDir(w.dir)
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it
+// survive power loss, not just process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("service: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("service: sync dir: %w", serr)
+	}
 	return nil
 }
 

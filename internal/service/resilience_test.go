@@ -892,3 +892,269 @@ func TestFaultAdminEndpoints(t *testing.T) {
 		t.Fatalf("put after clear: %v", err)
 	}
 }
+
+// TestWALTornTailTruncated: replay tolerating a torn tail is not enough —
+// the torn bytes must also be dropped from disk before the log is
+// appended to again, or the next record concatenates onto the partial
+// line and a SECOND restart loses (or refuses) acknowledged records.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(key string, gen int) string {
+		b, _ := json.Marshal(walRecord{Op: "put", Key: key, Size: 1, SKey: fmt.Sprintf("%s@%d", key, gen), OSDs: []int{0}, OK: []bool{true}})
+		return string(b) + "\n"
+	}
+	walPath := filepath.Join(dir, walFileName)
+	if err := os.WriteFile(walPath, []byte(rec("a", 7)+`{"op":"put","key":"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, objects, _, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("torn tail must replay: %v", err)
+	}
+	if len(objects) != 1 || objects["a"] == nil {
+		t.Fatalf("replayed %d objects, want just a", len(objects))
+	}
+	// Append a fresh record over the (now truncated) torn tail.
+	if err := w.appendPut("b", &objectMeta{size: 1, skey: "b@9", osds: []int{0}, ok: []bool{true}}); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, objects2, maxGen, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("second restart must replay cleanly: %v", err)
+	}
+	defer w2.Close()
+	if len(objects2) != 2 || objects2["a"] == nil || objects2["b"] == nil {
+		t.Fatalf("second restart recovered %d objects, want a and b", len(objects2))
+	}
+	if maxGen != 9 {
+		t.Fatalf("maxGen = %d, want 9 (record appended after the torn tail)", maxGen)
+	}
+}
+
+// TestWALUnterminatedTailDropped: a final line that parses as JSON but is
+// missing its newline was never acknowledged (the ack follows the fsync
+// of the full line) — it must be treated as torn, not applied, and must
+// not corrupt the record appended after it.
+func TestWALUnterminatedTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	full, _ := json.Marshal(walRecord{Op: "put", Key: "a", Size: 1, SKey: "a@3", OSDs: []int{0}, OK: []bool{true}})
+	unterminated, _ := json.Marshal(walRecord{Op: "put", Key: "cut", Size: 1, SKey: "cut@4", OSDs: []int{0}, OK: []bool{true}})
+	if err := os.WriteFile(filepath.Join(dir, walFileName),
+		append(append(full, '\n'), unterminated...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, objects, _, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("unterminated tail must replay: %v", err)
+	}
+	if len(objects) != 1 || objects["cut"] != nil {
+		t.Fatalf("unacknowledged record applied: %d objects", len(objects))
+	}
+	if err := w.appendPut("b", &objectMeta{size: 1, skey: "b@5", osds: []int{0}, ok: []bool{true}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, objects2, _, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("restart after append: %v", err)
+	}
+	defer w2.Close()
+	if len(objects2) != 2 || objects2["a"] == nil || objects2["b"] == nil {
+		t.Fatalf("recovered %d objects, want a and b", len(objects2))
+	}
+}
+
+// TestWALInterruptedCompaction: a crash between WAL rotation and the
+// snapshot landing leaves meta.wal.old behind; startup must replay it
+// (its records are covered by no snapshot) and finish the compaction.
+func TestWALInterruptedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(key, skey string) []byte {
+		b, _ := json.Marshal(walRecord{Op: "put", Key: key, Size: 1, SKey: skey, OSDs: []int{0}, OK: []bool{true}})
+		return append(b, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapFileName), rec("snapped", "snapped@1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walOldFileName), rec("rotated", "rotated@2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName), rec("fresh", "fresh@3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, objects, maxGen, err := openMetaWAL(dir, 0)
+	if err != nil {
+		t.Fatalf("open with leftover rotation: %v", err)
+	}
+	defer w.Close()
+	for _, key := range []string{"snapped", "rotated", "fresh"} {
+		if objects[key] == nil {
+			t.Fatalf("record %q lost across the interrupted compaction", key)
+		}
+	}
+	if maxGen != 3 {
+		t.Fatalf("maxGen = %d, want 3", maxGen)
+	}
+	// The compaction was finished: the rotated log is gone and the
+	// snapshot alone now covers its records.
+	if _, err := os.Stat(filepath.Join(dir, walOldFileName)); !os.IsNotExist(err) {
+		t.Fatalf("rotated log not cleaned up: %v", err)
+	}
+	snapped := map[string]*objectMeta{}
+	if err := replayFile(filepath.Join(dir, snapFileName), snapped); err != nil {
+		t.Fatal(err)
+	}
+	if snapped["rotated"] == nil {
+		t.Fatal("finished snapshot does not cover the rotated log")
+	}
+}
+
+// TestBreakerProbeTimeout: a half-open probe whose outcome is never
+// recorded (e.g. the request that carried it was cancelled, so truthful
+// scoring skipped it) must not wedge the breaker — after another
+// cooldown a replacement probe is admitted.
+func TestBreakerProbeTimeout(t *testing.T) {
+	t0 := time.Unix(4000, 0)
+	b := NewBreaker(1, time.Second)
+	b.Record(false, t0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	p1 := t0.Add(2 * time.Second)
+	if !b.Allow(p1) {
+		t.Fatal("cooldown elapsed: probe must be admitted")
+	}
+	if b.Allow(p1.Add(500 * time.Millisecond)) {
+		t.Fatal("second op admitted while the probe is still fresh")
+	}
+	// The probe's outcome is never recorded. One cooldown later a
+	// replacement probe must go through, or the OSD is ejected forever.
+	p2 := p1.Add(2 * time.Second)
+	if !b.Allow(p2) {
+		t.Fatal("breaker wedged half-open: lost probe never replaced")
+	}
+	b.Record(true, p2)
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful replacement probe: state %v, want closed", b.State())
+	}
+}
+
+// cancelAwareStore fails Put/Get with the context's error once it is
+// done, like any real networked store; otherwise it passes through.
+type cancelAwareStore struct {
+	ShardStore
+}
+
+func (s cancelAwareStore) Put(ctx context.Context, key string, shard int, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.ShardStore.Put(ctx, key, shard, data)
+}
+
+func (s cancelAwareStore) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.ShardStore.Get(ctx, key, shard)
+}
+
+// TestCancelledOpsNotScored: a burst of client disconnects (cancelled
+// request contexts) says nothing about OSD health and must not trip
+// breakers or mark OSDs down — with >M breakers open, reads would fail
+// for every client.
+func TestCancelledOpsNotScored(t *testing.T) {
+	stores := memStores(6)
+	for i := range stores {
+		stores[i] = cancelAwareStore{stores[i]}
+	}
+	gw := buildGateway(t, stores, func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = 0 // exercise the attempt/score path directly
+	})
+	data := payload(128<<10, 61)
+	if _, err := gw.PutObject(context.Background(), "cancel/obj", data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 5; i++ {
+		if _, _, err := gw.GetObject(cctx, "cancel/obj"); err == nil {
+			t.Fatal("get with cancelled context succeeded")
+		}
+		if _, err := gw.PutObject(cctx, "cancel/other", data); err == nil {
+			t.Fatal("put with cancelled context succeeded")
+		}
+	}
+	for osd := 0; osd < 6; osd++ {
+		if st := gw.Breaker(osd).State(); st != BreakerClosed {
+			t.Fatalf("osd %d breaker %v after cancellations, want closed", osd, st)
+		}
+		if r := gw.Breaker(osd).FailureRate(); r != 0 {
+			t.Fatalf("osd %d failure rate %v after cancellations, want 0", osd, r)
+		}
+	}
+	if st := gw.Status(); st.OSDsDown != 0 {
+		t.Fatalf("%d OSDs marked down by cancelled ops", st.OSDsDown)
+	}
+	// A healthy client still reads the object cleanly.
+	got, info, err := gw.GetObject(context.Background(), "cancel/obj")
+	if err != nil || info.Degraded || !bytes.Equal(got, data) {
+		t.Fatalf("healthy read after cancellation burst: err=%v info=%+v", err, info)
+	}
+}
+
+// countFailStore counts physical Get calls and fails each with a
+// transient error.
+type countFailStore struct {
+	*MemStore
+	mu   sync.Mutex
+	gets int
+}
+
+func (s *countFailStore) Get(ctx context.Context, key string, shard int) ([]byte, error) {
+	s.mu.Lock()
+	s.gets++
+	s.mu.Unlock()
+	return nil, errBlip
+}
+
+// TestHalfOpenSingleProbe: the breaker admits exactly one op while
+// half-open, and the read path must honour that — no hedge duplicate, no
+// retries after the failed probe re-trips the circuit. Exactly one
+// physical request reaches the OSD.
+func TestHalfOpenSingleProbe(t *testing.T) {
+	stores := memStores(6)
+	cs := &countFailStore{MemStore: NewMemStore(0)}
+	stores[0] = cs
+	gw := buildGateway(t, stores, func(cfg *GatewayConfig) {
+		fastRetries(cfg)
+		cfg.HedgeDelay = time.Millisecond // would fan out if not suppressed
+		// Long enough that the retry backoffs (1-4ms) cannot straddle a
+		// second cooldown and legitimately earn a second probe.
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	})
+	now := time.Now()
+	for i := 0; i < gw.cfg.BreakerThreshold; i++ {
+		gw.Breaker(0).Record(false, now)
+	}
+	if gw.Breaker(0).State() != BreakerOpen {
+		t.Fatalf("state %v, want open", gw.Breaker(0).State())
+	}
+	time.Sleep(260 * time.Millisecond) // cooldown elapses → next op is the probe
+	if _, err := gw.fetchShard(context.Background(), "probe@1", 0, 0, 1); err == nil {
+		t.Fatal("fetch through a failing probe succeeded")
+	}
+	cs.mu.Lock()
+	gets := cs.gets
+	cs.mu.Unlock()
+	if gets != 1 {
+		t.Fatalf("half-open admitted %d physical ops, want exactly 1 probe", gets)
+	}
+	if st := gw.Breaker(0).State(); st != BreakerOpen {
+		t.Fatalf("failed probe left breaker %v, want open", st)
+	}
+}
