@@ -8,6 +8,12 @@
 //	ecgate -listen :7310 -backend sim                 # in-process virtual cluster
 //	ecgate -listen :7310 -backend mem -hosts 3 -osds-per-host 2
 //	ecgate -listen :7310 -backend osd -osd-urls http://h1:7411,http://h2:7411,...
+//	ecgate -listen :7310 -tenants gold:3,silver:2,bronze:1   # weighted-fair admission
+//
+// With -tenants set, admission switches from a flat max-inflight bound
+// to weighted-fair queuing keyed by the X-Tenant request header; each
+// named tenant gets an inflight share proportional to its weight and
+// unnamed tenants share a weight-1 default.
 //
 // Smoke mode (used by CI) drives a running gateway — and optionally a
 // set of ecstored daemons — through a put / degraded-get / delete
@@ -26,10 +32,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"ecarray/internal/crush"
+	"ecarray/internal/qos"
 	"ecarray/internal/service"
 )
 
@@ -45,6 +53,7 @@ func main() {
 		m           = flag.Int("m", 2, "RS parity shards")
 		chunk       = flag.Int("chunk", 64<<10, "stripe-unit (per-shard chunk) bytes")
 		maxInflight = flag.Int("max-inflight", 256, "admission bound; excess requests get 429")
+		tenants     = flag.String("tenants", "", "weighted-fair admission: comma-separated name:weight pairs (empty = flat max-inflight)")
 		osdURLs     = flag.String("osd-urls", "", "osd backend / smoke: comma-separated ecstored base URLs")
 		metaDir     = flag.String("meta-dir", "", "metadata WAL directory (empty = volatile in-memory index)")
 
@@ -69,6 +78,14 @@ func main() {
 	cfg.K, cfg.M = *k, *m
 	cfg.ChunkSize = *chunk
 	cfg.MaxInflight = *maxInflight
+	if *tenants != "" {
+		tc, err := parseTenants(*tenants)
+		if err != nil {
+			fatal(logger, "tenants", err)
+		}
+		cfg.Tenants = tc
+		logger.Info("weighted-fair admission", "tenants", len(tc), "limit", cfg.MaxInflight)
+	}
 	cfg.Logger = logger
 	cfg.Backend = *backend
 	cfg.MetaDir = *metaDir
@@ -130,6 +147,31 @@ func main() {
 func fatal(logger *slog.Logger, what string, err error) {
 	logger.Error(what, "error", err.Error())
 	os.Exit(1)
+}
+
+// parseTenants turns "gold:3,silver:2,bronze:1" into per-tenant
+// weighted-fair admission configs.
+func parseTenants(s string) (map[string]qos.TenantConfig, error) {
+	out := make(map[string]qos.TenantConfig)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(pair, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant %q: want name:weight", pair)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant %q: weight must be a positive number", pair)
+		}
+		out[name] = qos.TenantConfig{Weight: w}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", s)
+	}
+	return out, nil
 }
 
 func splitURLs(s string) []string {

@@ -6,6 +6,7 @@
 //
 //	ecstored -listen :7411 -id 0 -backend mem
 //	ecstored -listen :7412 -id 1 -backend sim -device-mb 256 -seed 1
+//	ecstored -listen :7413 -id 2 -backend mem -max-inflight 128
 //
 // Backends:
 //
@@ -21,6 +22,7 @@ import (
 	"net/http"
 	"os"
 
+	"ecarray/internal/qos"
 	"ecarray/internal/service"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		host     = flag.String("host", "", "failure-domain host label (default nodeN)")
 		deviceMB = flag.Int64("device-mb", 256, "sim backend: device capacity in MiB")
 		seed     = flag.Int64("seed", 1, "device / fault-injection RNG seed")
+		inflight = flag.Int("max-inflight", 0, "shard-request admission bound; 0 = unlimited, excess gets 429")
 	)
 	flag.Parse()
 
@@ -68,9 +71,16 @@ func main() {
 	st = service.NewFaultStore(st, *id, *seed)
 
 	srv := service.NewOSDServer(*id, st, logger)
+	h := srv.Handler()
+	if *inflight > 0 {
+		// Bound concurrent shard work; the gateway classifies the resulting
+		// 429s as transient and retries against the other replicas/shards.
+		h = service.AdmissionMiddleware(qos.NewMaxInflight(*inflight), h)
+	}
 	logger.Info("ecstored listening",
-		"addr", *listen, "osd", *id, "backend", *backend, "host", hostLabel)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		"addr", *listen, "osd", *id, "backend", *backend, "host", hostLabel,
+		"max_inflight", *inflight)
+	if err := http.ListenAndServe(*listen, h); err != nil {
 		logger.Error("serve", "error", err.Error())
 		os.Exit(1)
 	}

@@ -61,6 +61,8 @@ import (
 	"ecarray/internal/bench"
 	"ecarray/internal/core"
 	"ecarray/internal/crush"
+	"ecarray/internal/qos"
+	"ecarray/internal/retry"
 	"ecarray/internal/rs"
 	"ecarray/internal/service"
 	"ecarray/internal/sim"
@@ -169,6 +171,44 @@ type (
 	// GrayOpResult is the outcome of one DegradeOSD or RestoreOSDHealth
 	// scenario event.
 	GrayOpResult = workload.GrayOpResult
+)
+
+// Multi-tenant QoS types: admission and routing policies shared by the
+// simulator data path (Config.QoS, Job.Tenant) and the service gateway
+// (GatewayConfig.Admission, the X-Tenant header). Every decision can emit
+// an auditable DecisionTrace with the rejected counterfactuals.
+type (
+	// AdmissionPolicy decides admit/throttle/reject per request.
+	AdmissionPolicy = qos.AdmissionPolicy
+	// RoutingPolicy picks one target from a candidate set, with a trace.
+	RoutingPolicy = qos.RoutingPolicy
+	// TenantConfig holds one tenant's weight, token rate/burst and
+	// shaping bound.
+	TenantConfig = qos.TenantConfig
+	// AdmissionRequest is one admission question (tenant, cost, time).
+	AdmissionRequest = qos.Request
+	// AdmissionDecision is a policy verdict (admit/delay/reject + trace).
+	AdmissionDecision = qos.Decision
+	// DecisionTrace is the auditable record of one policy decision,
+	// including the rejected counterfactual candidates.
+	DecisionTrace = qos.DecisionTrace
+	// RouteTarget is one routing candidate (id, load, weight).
+	RouteTarget = qos.Target
+	// RouteDecision is a routing verdict with its trace.
+	RouteDecision = qos.RouteDecision
+	// QoSConfig wires an admission policy into a simulated cluster
+	// (assign to Config.QoS).
+	QoSConfig = core.QoSConfig
+	// QoSMetrics is the cluster's per-tenant admission ledger.
+	QoSMetrics = core.QoSMetrics
+	// TenantQoS is one tenant's admission outcome counters.
+	TenantQoS = core.TenantQoS
+	// QoSReport is a scenario's per-tenant admission outcome, windowed
+	// per phase (see Scenario.CaptureQoS).
+	QoSReport = workload.QoSReport
+	// RetryPolicy is the shared bounded-retry/backoff schedule used by
+	// the gateway shard path, the GateClient and the core tail fetcher.
+	RetryPolicy = retry.Policy
 )
 
 // Benchmark-harness types.
@@ -348,6 +388,38 @@ func RestoreOSDHealth(id int) ScenarioEvent { return workload.RestoreOSDHealth(i
 func ScenarioCallback(name string, fn func(p *Proc, c *Cluster)) ScenarioEvent {
 	return workload.Callback(name, fn)
 }
+
+// NewTokenBucket returns a per-tenant token-bucket admission policy:
+// requests within the burst pass, modest overruns are shaped by a delay
+// up to each tenant's MaxWait, and worse is rejected with a Retry-After
+// hint. def applies to tenants not in the map.
+func NewTokenBucket(def TenantConfig, tenants map[string]TenantConfig) AdmissionPolicy {
+	return qos.NewTokenBucket(def, tenants)
+}
+
+// NewMaxInflight returns the classic bounded-admission policy: at most
+// limit requests in flight, regardless of tenant.
+func NewMaxInflight(limit int) AdmissionPolicy { return qos.NewMaxInflight(limit) }
+
+// NewWeightedFair returns a weighted-fair admission policy: the inflight
+// limit is split into per-tenant shares proportional to weight, and no
+// tenant can exceed its share — unconditional isolation under overload.
+func NewWeightedFair(limit int, def TenantConfig, tenants map[string]TenantConfig) AdmissionPolicy {
+	return qos.NewWeightedFair(limit, def, tenants)
+}
+
+// UnlimitedAdmission returns the always-admit policy (still traced).
+func UnlimitedAdmission() AdmissionPolicy { return qos.Unlimited{} }
+
+// NewRoundRobinRouter returns a routing policy cycling through targets.
+func NewRoundRobinRouter() RoutingPolicy { return qos.NewRoundRobin() }
+
+// LeastLoadedRouter returns a routing policy picking the lowest-load
+// target; WeightedScorerRouter scores targets by weight/(1+load).
+func LeastLoadedRouter() RoutingPolicy { return qos.LeastLoaded{} }
+
+// WeightedScorerRouter returns the weight/(1+load) scoring router.
+func WeightedScorerRouter() RoutingPolicy { return qos.WeightedScorer{} }
 
 // DefaultGatewayConfig returns production-shaped gateway defaults:
 // RS(4,2), 64 KiB chunks, bounded admission, degraded-read fallback.

@@ -18,7 +18,7 @@ import (
 //
 // ScenarioIDs lists the available experiments.
 func ScenarioIDs() []string {
-	return []string{"degraded-read", "recovery-interference", "mixed-tenants", "restore-backfill", "gray-failure"}
+	return []string{"degraded-read", "recovery-interference", "mixed-tenants", "restore-backfill", "gray-failure", "qos-overload"}
 }
 
 // RunScenario executes one scenario experiment and returns its table. As
@@ -47,6 +47,8 @@ func (s *Suite) runScenario(id string) (Table, error) {
 		return s.scenarioRestoreBackfill()
 	case "gray-failure":
 		return s.scenarioGrayFailure()
+	case "qos-overload":
+		return s.scenarioQoSOverload()
 	}
 	return Table{}, fmt.Errorf("bench: unknown scenario %q", id)
 }

@@ -18,6 +18,7 @@ import (
 	"ecarray/internal/crush"
 	"ecarray/internal/gf"
 	"ecarray/internal/netsim"
+	"ecarray/internal/qos"
 	"ecarray/internal/sim"
 	"ecarray/internal/ssd"
 	"ecarray/internal/store"
@@ -65,6 +66,10 @@ type Cluster struct {
 
 	gray  []osdGray // per-OSD gray-failure state (gray.go)
 	grayM GrayMetrics
+
+	qosM         QoSMetrics          // per-tenant admission ledger (qos.go)
+	qosTraces    []qos.DecisionTrace // rejection trace ring
+	qosTraceNext int
 }
 
 // New builds a cluster per the config and starts its background daemons

@@ -71,6 +71,11 @@ type Config struct {
 	// whole subsystem; see DefaultGrayConfig for tuned defaults.
 	Gray GrayConfig
 
+	// QoS wires a multi-tenant admission policy in front of the pools
+	// (see qos.go). The zero value disables admission control — the op
+	// path is then byte-identical to a QoS-less build.
+	QoS QoSConfig
+
 	// CarryData runs real bytes end to end (client → striping → encoding →
 	// store → flash and back), with parity actually computed and verified.
 	// Keep clusters small in this mode.
@@ -160,6 +165,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: unknown codec kernel %q", c.CodecKernel)
 	case c.Cost.HeartbeatInterval <= 0:
 		return fmt.Errorf("core: heartbeat interval must be positive")
+	}
+	if err := c.QoS.validate(); err != nil {
+		return err
 	}
 	return c.Gray.validate()
 }

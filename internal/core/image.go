@@ -87,11 +87,27 @@ func (img *Image) extents(off, length int64) []extent {
 // zero-fill in carry mode). One client dispatch is charged per block op, as
 // with one FIO request through librbd.
 func (img *Image) Write(p *sim.Proc, off int64, data []byte, length int64) error {
+	return img.WriteFor(p, "", off, data, length)
+}
+
+// WriteFor is Write on behalf of a tenant: when the cluster has an
+// admission policy configured, the op passes through it (and may be
+// throttled or rejected) before any dispatch cost is charged. An empty
+// tenant is the anonymous tenant; with no policy configured the path is
+// identical to Write.
+func (img *Image) WriteFor(p *sim.Proc, tenant string, off int64, data []byte, length int64) error {
 	if err := img.checkRange(off, length); err != nil {
 		return err
 	}
 	if data != nil && int64(len(data)) != length {
 		return fmt.Errorf("core: image write data length mismatch")
+	}
+	release, err := img.pool.c.qosAdmit(p, tenant)
+	if err != nil {
+		return err
+	}
+	if release != nil {
+		defer release()
 	}
 	img.pool.c.clientDispatch(p)
 	for _, ext := range img.extents(off, length) {
@@ -108,8 +124,21 @@ func (img *Image) Write(p *sim.Proc, off int64, data []byte, length int64) error
 
 // Read performs a block read. The returned bytes are nil in size-only mode.
 func (img *Image) Read(p *sim.Proc, off, length int64) ([]byte, error) {
+	return img.ReadFor(p, "", off, length)
+}
+
+// ReadFor is Read on behalf of a tenant, through the admission policy
+// when one is configured (see WriteFor).
+func (img *Image) ReadFor(p *sim.Proc, tenant string, off, length int64) ([]byte, error) {
 	if err := img.checkRange(off, length); err != nil {
 		return nil, err
+	}
+	release, err := img.pool.c.qosAdmit(p, tenant)
+	if err != nil {
+		return nil, err
+	}
+	if release != nil {
+		defer release()
 	}
 	img.pool.c.clientDispatch(p)
 	var out []byte

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ecarray/internal/retry"
 	"ecarray/internal/sim"
 )
 
@@ -93,6 +94,9 @@ func (pl *Pool) tailFetch(p *sim.Proc, pg *PG, prim *OSD, obj string,
 	}
 
 	waker := sim.NewWaker(e)
+	// Uncapped, jitterless schedule: the simulated path wants exact
+	// RetryBackoff << attempt waits (golden digests pin the sequence).
+	rp := retry.Policy{Max: g.ShardRetries, Base: g.RetryBackoff}
 	var reqs []*shardReq
 	var doneSeq []*shardReq // completion order, for first-k-wins
 	next := 0               // next unused candidate
@@ -133,13 +137,13 @@ func (pl *Pool) tailFetch(p *sim.Proc, pg *PG, prim *OSD, obj string,
 					return
 				}
 				c.grayM.ShardFaults++
-				if r.attempts >= g.ShardRetries {
+				if rp.Exhausted(r.attempts) {
 					r.failed, r.done = true, true
 					doneSeq = append(doneSeq, r)
 					waker.Wake()
 					return
 				}
-				sp.Sleep(g.RetryBackoff << r.attempts)
+				sp.Sleep(rp.Backoff(r.attempts))
 				r.attempts++
 				c.grayM.ShardRetries++
 			}

@@ -1,0 +1,68 @@
+// Package retry is the repo's single retry/backoff policy.
+//
+// Three independent retry loops grew up around the data path — the
+// gateway's shard-op backoff, the GateClient's 429/503 wait, and the
+// core tail-fetch re-issue — each rolling its own exponential schedule
+// with slightly different capping and jitter rules. This package folds
+// them into one Policy so the schedule is defined (and tested) once;
+// the call sites keep their own loop structure and retryability
+// predicates, which genuinely differ.
+//
+// A Policy is a value, cheap to copy and safe to share; Jitter is the
+// only mutable hook and supplies its own locking if it needs any.
+package retry
+
+import "time"
+
+// Policy describes one bounded exponential-backoff schedule.
+//
+// Attempt numbering: attempt 0 is the first retry decision, made after
+// the first try failed. Exhausted(a) reports whether attempt a is past
+// the budget; Backoff(a) is how long to wait before re-trying.
+type Policy struct {
+	// Max is the retry budget: the number of re-tries allowed after the
+	// initial attempt. Exhausted(a) is true once a >= Max.
+	Max int
+
+	// Base is the backoff of attempt 0; attempt n backs off Base << n.
+	Base time.Duration
+
+	// Cap bounds the backoff. Zero means uncapped. The shifted value is
+	// clamped to Cap both when it exceeds it and when the shift
+	// overflows to a non-positive value.
+	Cap time.Duration
+
+	// Jitter, when non-nil, returns an extra duration to add on top of
+	// the capped backoff (typically random in [0, d/2]). It must be
+	// safe for concurrent use if the Policy is shared across
+	// goroutines.
+	Jitter func(d time.Duration) time.Duration
+}
+
+// Exhausted reports whether the retry budget is spent at this attempt.
+func (p Policy) Exhausted(attempt int) bool { return attempt >= p.Max }
+
+// Backoff returns the wait before re-trying at the given attempt:
+// Base << attempt, clamped to Cap (overflow included), plus Jitter.
+func (p Policy) Backoff(attempt int) time.Duration {
+	d := p.Base << attempt
+	if p.Cap > 0 && (d <= 0 || d > p.Cap) {
+		d = p.Cap
+	}
+	if d < 0 {
+		d = 0
+	}
+	if p.Jitter != nil {
+		d += p.Jitter(d)
+	}
+	return d
+}
+
+// Clamp bounds an externally supplied wait (a server's Retry-After
+// hint, say) to the policy's Cap. Zero Cap passes d through.
+func (p Policy) Clamp(d time.Duration) time.Duration {
+	if p.Cap > 0 && d > p.Cap {
+		return p.Cap
+	}
+	return d
+}

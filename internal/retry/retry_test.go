@@ -1,0 +1,81 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// The gateway's historical schedule: Base<<attempt capped at Cap, with
+// overflow treated as "use the cap". The resilience suite pins the
+// 1–4 ms sequence at RetryBase=1ms, so this table is load-bearing.
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	p := Policy{Max: 3, Base: time.Millisecond, Cap: 250 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond,
+	}
+	for a, w := range want {
+		if got := p.Backoff(a); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", a, got, w)
+		}
+	}
+	// Past the cap.
+	if got := p.Backoff(10); got != 250*time.Millisecond {
+		t.Errorf("Backoff(10) = %v, want cap", got)
+	}
+	// Shift overflow clamps to the cap rather than going negative.
+	if got := p.Backoff(80); got != 250*time.Millisecond {
+		t.Errorf("Backoff(80) = %v, want cap on overflow", got)
+	}
+}
+
+func TestRetryPolicyUncapped(t *testing.T) {
+	// Tail-fetch style: no cap, no jitter, Base may be zero.
+	p := Policy{Max: 3, Base: 0}
+	for a := 0; a < 5; a++ {
+		if got := p.Backoff(a); got != 0 {
+			t.Errorf("zero-base Backoff(%d) = %v, want 0", a, got)
+		}
+	}
+	p = Policy{Max: 3, Base: 2 * time.Millisecond}
+	if got := p.Backoff(3); got != 16*time.Millisecond {
+		t.Errorf("uncapped Backoff(3) = %v, want 16ms", got)
+	}
+	// Uncapped overflow still degrades to a sane (zero) wait.
+	if got := p.Backoff(80); got != 0 {
+		t.Errorf("uncapped overflow Backoff(80) = %v, want 0", got)
+	}
+}
+
+func TestRetryPolicyExhausted(t *testing.T) {
+	p := Policy{Max: 2}
+	for a, want := range []bool{false, false, true, true} {
+		if got := p.Exhausted(a); got != want {
+			t.Errorf("Exhausted(%d) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestRetryPolicyJitterAndClamp(t *testing.T) {
+	p := Policy{
+		Max: 1, Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration { return d / 2 },
+	}
+	if got := p.Backoff(0); got != 15*time.Millisecond {
+		t.Errorf("jittered Backoff(0) = %v, want 15ms", got)
+	}
+	// Jitter applies after capping, so the cap bounds the base term only
+	// (matching the gateway's historical RetryMax + rand(RetryMax/2)).
+	if got := p.Backoff(5); got != 60*time.Millisecond {
+		t.Errorf("jittered Backoff(5) = %v, want 60ms", got)
+	}
+	if got := p.Clamp(time.Second); got != 40*time.Millisecond {
+		t.Errorf("Clamp(1s) = %v, want cap", got)
+	}
+	if got := p.Clamp(time.Millisecond); got != time.Millisecond {
+		t.Errorf("Clamp(1ms) = %v, want pass-through", got)
+	}
+	if got := (Policy{}).Clamp(time.Second); got != time.Second {
+		t.Errorf("zero-cap Clamp(1s) = %v, want pass-through", got)
+	}
+}

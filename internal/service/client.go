@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ecarray/internal/retry"
 )
 
 // StatusError is a non-2xx response from a service endpoint, preserving
@@ -188,19 +190,21 @@ func (c *OSDClient) Healthz(ctx context.Context) error {
 // attempt re-sends the full payload), honoring the server's Retry-After
 // hint capped at maxRetryWait.
 type GateClient struct {
-	base         string
-	hc           *http.Client
-	retries      int
-	maxRetryWait time.Duration
+	base   string
+	hc     *http.Client
+	retry  retry.Policy
+	tenant string
 }
 
 // NewGateClient targets a gateway at baseURL.
 func NewGateClient(baseURL string) *GateClient {
 	return &GateClient{
-		base:         strings.TrimRight(baseURL, "/"),
-		hc:           defaultHTTPClient(),
-		retries:      2,
-		maxRetryWait: 500 * time.Millisecond,
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   defaultHTTPClient(),
+		// Up to 2 re-sends, 50ms exponential base, both the backoff and
+		// any server Retry-After hint capped at 500ms so drivers and
+		// tests stay fast.
+		retry: retry.Policy{Max: 2, Base: 50 * time.Millisecond, Cap: 500 * time.Millisecond},
 	}
 }
 
@@ -208,9 +212,13 @@ func NewGateClient(baseURL string) *GateClient {
 // useful for tests asserting raw server behavior).
 func (c *GateClient) SetRetries(n int) {
 	if n >= 0 {
-		c.retries = n
+		c.retry.Max = n
 	}
 }
+
+// SetTenant attaches an X-Tenant header to every object request, so the
+// gateway's admission policy applies this client's per-tenant limits.
+func (c *GateClient) SetTenant(tenant string) { c.tenant = tenant }
 
 func (c *GateClient) objectURL(key string) string {
 	return c.base + "/v1/objects/" + url.PathEscape(key)
@@ -226,6 +234,9 @@ func (c *GateClient) do(ctx context.Context, method, u string, body []byte) (*ht
 		return nil, err
 	}
 	setRequestIDHeader(ctx, req)
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
 	return c.hc.Do(req)
 }
 
@@ -240,7 +251,7 @@ func (c *GateClient) doRetry(ctx context.Context, method, u string, body []byte)
 		}
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode == http.StatusServiceUnavailable
-		if !retryable || attempt >= c.retries {
+		if !retryable || c.retry.Exhausted(attempt) {
 			return resp, nil
 		}
 		wait := c.retryWait(resp, attempt)
@@ -258,16 +269,13 @@ func (c *GateClient) doRetry(ctx context.Context, method, u string, body []byte)
 // seconds when present and sane, else a small exponential backoff; both
 // capped so drivers and tests stay fast.
 func (c *GateClient) retryWait(resp *http.Response, attempt int) time.Duration {
-	wait := (50 * time.Millisecond) << attempt
+	wait := c.retry.Backoff(attempt)
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
 			wait = time.Duration(secs) * time.Second
 		}
 	}
-	if wait > c.maxRetryWait {
-		wait = c.maxRetryWait
-	}
-	return wait
+	return c.retry.Clamp(wait)
 }
 
 // PutObject stores data under key.

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ecarray/internal/qos"
+	"ecarray/internal/retry"
 	"ecarray/internal/rs"
 )
 
@@ -26,6 +28,27 @@ var (
 	// ErrTooLarge: object exceeds the configured body limit (413).
 	ErrTooLarge = errors.New("service: object too large")
 )
+
+// OverloadError is an admission rejection with the policy's decision
+// attached: a Retry-After derived from live queue depth or token refill
+// time (not a constant), and the DecisionTrace naming the rejected
+// counterfactual candidates. errors.Is(err, ErrOverloaded) matches it,
+// so every existing 429 path is unchanged.
+type OverloadError struct {
+	RetryAfter time.Duration
+	Trace      *qos.DecisionTrace
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	if e.Trace != nil {
+		return fmt.Sprintf("%v (%s)", ErrOverloaded, e.Trace.Reason)
+	}
+	return ErrOverloaded.Error()
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for admission rejections.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // SimClock is implemented by backends that accumulate simulated time (the
 // virtual cluster); the gateway surfaces it on /v1/status when present.
@@ -46,6 +69,18 @@ type GatewayConfig struct {
 	// MaxInflight bounds concurrently admitted object requests; excess
 	// requests are rejected with ErrOverloaded (HTTP 429).
 	MaxInflight int
+	// Admission, when non-nil, replaces the default admission gate with
+	// an arbitrary qos.AdmissionPolicy. Nil selects the built-in policy:
+	// qos.MaxInflight over MaxInflight slots, or — when Tenants is
+	// non-empty — qos.WeightedFair partitioning those slots across
+	// tenants by weight. Either way the gate is one implementation of
+	// the same policy interface, and every rejection carries the
+	// policy's DecisionTrace and a queue-derived Retry-After.
+	Admission qos.AdmissionPolicy
+	// Tenants configures per-tenant admission (weights, rates) keyed by
+	// the X-Tenant request header value. Only consulted when Admission
+	// is nil (see above).
+	Tenants map[string]qos.TenantConfig
 	// MaxObjectBytes bounds PUT bodies.
 	MaxObjectBytes int64
 	// FailThreshold is the consecutive-error count after which an OSD is
@@ -200,7 +235,9 @@ type Gateway struct {
 
 	breakers []*Breaker
 
-	inflight chan struct{}
+	admission qos.AdmissionPolicy
+	retry     retry.Policy
+	tenants   sync.Map // tenant names seen by admit(), for /v1/status
 
 	gen atomic.Uint64 // generation stamp for backend shard keys
 
@@ -240,15 +277,23 @@ func NewGateway(cfg GatewayConfig, stores []ShardStore, placer *Placer) (*Gatewa
 		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		code:     code,
-		placer:   placer,
-		log:      logger,
-		reg:      NewRegistry(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		inflight: make(chan struct{}, cfg.MaxInflight),
-		objects:  map[string]*objectMeta{},
-		health:   make([]osdHealth, len(stores)),
+		cfg:     cfg,
+		code:    code,
+		placer:  placer,
+		log:     logger,
+		reg:     NewRegistry(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		objects: map[string]*objectMeta{},
+		health:  make([]osdHealth, len(stores)),
+	}
+	g.retry = retry.Policy{Max: cfg.Retries, Base: cfg.RetryBase, Cap: cfg.RetryMax, Jitter: g.jitter}
+	g.admission = cfg.Admission
+	if g.admission == nil {
+		if len(cfg.Tenants) > 0 {
+			g.admission = qos.NewWeightedFair(cfg.MaxInflight, qos.TenantConfig{Weight: 1}, cfg.Tenants)
+		} else {
+			g.admission = qos.NewMaxInflight(cfg.MaxInflight)
+		}
 	}
 	// Every backend is wrapped in a FaultStore so chaos is injectable on
 	// any gateway at runtime (a zero spec is a straight pass-through).
@@ -307,21 +352,46 @@ func (g *Gateway) Metrics() *Registry { return g.reg }
 // Config returns the gateway configuration.
 func (g *Gateway) Config() GatewayConfig { return g.cfg }
 
-// admit reserves an admission slot; callers must release() on success.
-func (g *Gateway) admit() bool {
-	select {
-	case g.inflight <- struct{}{}:
-		g.reg.Gauge("ecgate_inflight").Add(1)
-		return true
-	default:
-		g.reg.Counter("ecgate_admission_rejected_total").Inc()
-		return false
-	}
-}
+// AdmissionPolicy returns the gateway's admission gate (tests, status).
+func (g *Gateway) AdmissionPolicy() qos.AdmissionPolicy { return g.admission }
 
-func (g *Gateway) release() {
-	<-g.inflight
-	g.reg.Gauge("ecgate_inflight").Add(-1)
+// admit asks the admission policy whether this request may enter,
+// honouring a shaping delay if the policy asks for one. On success the
+// returned func must be called exactly once when the request completes;
+// on rejection the error is an *OverloadError carrying the policy's
+// DecisionTrace and its queue-derived Retry-After hint.
+func (g *Gateway) admit(ctx context.Context, tenant string) (func(), error) {
+	req := qos.Request{Tenant: tenant, Cost: 1, Now: time.Now().UnixNano()}
+	if tenant != "" {
+		g.tenants.Store(tenant, struct{}{})
+	}
+	d := g.admission.Admit(req)
+	if !d.Admit {
+		g.reg.Counter("ecgate_admission_rejected_total").Inc()
+		if tenant != "" {
+			g.reg.Counter(fmt.Sprintf("ecgate_tenant_rejected_total{tenant=%q}", tenant)).Inc()
+		}
+		return nil, &OverloadError{RetryAfter: d.RetryAfter, Trace: d.Trace}
+	}
+	if d.Delay > 0 {
+		if err := sleep(ctx, d.Delay); err != nil {
+			g.admission.Release(req)
+			return nil, err
+		}
+		g.reg.Counter("ecgate_admission_throttled_total").Inc()
+	}
+	g.reg.Gauge("ecgate_inflight").Add(1)
+	if tenant != "" {
+		g.reg.Counter(fmt.Sprintf("ecgate_tenant_admitted_total{tenant=%q}", tenant)).Inc()
+		g.reg.Gauge(fmt.Sprintf("ecgate_tenant_inflight{tenant=%q}", tenant)).Add(1)
+	}
+	return func() {
+		g.admission.Release(req)
+		g.reg.Gauge("ecgate_inflight").Add(-1)
+		if tenant != "" {
+			g.reg.Gauge(fmt.Sprintf("ecgate_tenant_inflight{tenant=%q}", tenant)).Add(-1)
+		}
+	}, nil
 }
 
 // noteResult feeds the per-OSD health tracker.
@@ -363,17 +433,13 @@ func transient(err error) bool {
 	return true
 }
 
-// backoff returns the sleep before retry attempt (0-based) with seeded
-// jitter in [0, 50%] of the exponential base.
-func (g *Gateway) backoff(attempt int) time.Duration {
-	d := g.cfg.RetryBase << attempt
-	if d > g.cfg.RetryMax || d <= 0 {
-		d = g.cfg.RetryMax
-	}
+// jitter is the seeded jitter hook for the shared retry.Policy: a
+// random extra in [0, 50%] of the capped exponential base.
+func (g *Gateway) jitter(d time.Duration) time.Duration {
 	g.rngMu.Lock()
 	j := time.Duration(g.rng.Int63n(int64(d/2) + 1))
 	g.rngMu.Unlock()
-	return d + j
+	return j
 }
 
 // score feeds one completed attempt's truthful outcome into the health
@@ -428,11 +494,11 @@ func (g *Gateway) shardOp(ctx context.Context, osd int, op string, fn func(ctx c
 			return err
 		}
 		err = g.attempt(ctx, osd, op, fn)
-		if err == nil || !transient(err) || a >= g.cfg.Retries || ctx.Err() != nil {
+		if err == nil || !transient(err) || g.retry.Exhausted(a) || ctx.Err() != nil {
 			return err
 		}
 		g.reg.Counter(fmt.Sprintf("ecgate_shard_retries_total{op=%q}", op)).Inc()
-		if sleep(ctx, g.backoff(a)) != nil {
+		if sleep(ctx, g.retry.Backoff(a)) != nil {
 			return err
 		}
 	}
@@ -533,11 +599,11 @@ func (g *Gateway) fetchShard(ctx context.Context, skey string, shard, osd int, w
 			}
 			return data, nil
 		}
-		if !transient(err) || a >= g.cfg.Retries || ctx.Err() != nil {
+		if !transient(err) || g.retry.Exhausted(a) || ctx.Err() != nil {
 			return nil, err
 		}
 		g.reg.Counter(`ecgate_shard_retries_total{op="get"}`).Inc()
-		if sleep(ctx, g.backoff(a)) != nil {
+		if sleep(ctx, g.retry.Backoff(a)) != nil {
 			return nil, err
 		}
 	}
@@ -559,10 +625,11 @@ func (g *Gateway) shardLen(size int64) int64 {
 // any partial shards are deleted. Fewer than k+m (but ≥ k) is a degraded
 // write, counted and recorded in the object's shard mask.
 func (g *Gateway) PutObject(ctx context.Context, key string, data []byte) (ObjectInfo, error) {
-	if !g.admit() {
-		return ObjectInfo{}, ErrOverloaded
+	release, err := g.admit(ctx, TenantFrom(ctx))
+	if err != nil {
+		return ObjectInfo{}, err
 	}
-	defer g.release()
+	defer release()
 	if key == "" {
 		return ObjectInfo{}, fmt.Errorf("%w: empty key", ErrBadRequest)
 	}
@@ -756,10 +823,11 @@ func (g *Gateway) fetchWave(ctx context.Context, key string, meta *objectMeta, i
 // through StreamDecode — a degraded read. Fewer than k reachable shards
 // is ErrInsufficientShards.
 func (g *Gateway) GetObject(ctx context.Context, key string) ([]byte, GetInfo, error) {
-	if !g.admit() {
-		return nil, GetInfo{}, ErrOverloaded
+	release, err := g.admit(ctx, TenantFrom(ctx))
+	if err != nil {
+		return nil, GetInfo{}, err
 	}
-	defer g.release()
+	defer release()
 	g.mu.RLock()
 	meta, exists := g.objects[key]
 	g.mu.RUnlock()
@@ -858,10 +926,11 @@ func (g *Gateway) GetObject(ctx context.Context, key string) ([]byte, GetInfo, e
 // DeleteObject removes the object's shards (best effort on down OSDs) and
 // forgets it; a subsequent GET is ErrNotFound.
 func (g *Gateway) DeleteObject(ctx context.Context, key string) error {
-	if !g.admit() {
-		return ErrOverloaded
+	release, err := g.admit(ctx, TenantFrom(ctx))
+	if err != nil {
+		return err
 	}
-	defer g.release()
+	defer release()
 	g.mu.Lock()
 	meta, exists := g.objects[key]
 	if exists && g.wal != nil {
@@ -905,6 +974,19 @@ type StatusInfo struct {
 	Reconstructions int64   `json:"reconstructed_shards"`
 	AdmissionDrops  int64   `json:"admission_rejected"`
 	SimSeconds      float64 `json:"sim_seconds,omitempty"`
+
+	// Tenants holds per-tenant admission and latency stats, keyed by
+	// X-Tenant header value; present once any named tenant has been seen.
+	Tenants map[string]TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's entry in /v1/status.
+type TenantStatus struct {
+	Admitted   int64   `json:"admitted"`
+	Rejected   int64   `json:"rejected"`
+	Inflight   int64   `json:"inflight"`
+	Requests   int64   `json:"requests"`
+	P99Seconds float64 `json:"p99_seconds"` // bucket upper bound (conservative)
 }
 
 // Status snapshots the gateway.
@@ -948,6 +1030,21 @@ func (g *Gateway) Status() StatusInfo {
 	if g.cfg.Sim != nil {
 		st.SimSeconds = g.cfg.Sim.SimSeconds()
 	}
+	g.tenants.Range(func(k, _ any) bool {
+		name := k.(string)
+		h := g.reg.Histogram(fmt.Sprintf("ecgate_tenant_request_seconds{tenant=%q}", name))
+		if st.Tenants == nil {
+			st.Tenants = make(map[string]TenantStatus)
+		}
+		st.Tenants[name] = TenantStatus{
+			Admitted:   g.reg.Counter(fmt.Sprintf("ecgate_tenant_admitted_total{tenant=%q}", name)).Value(),
+			Rejected:   g.reg.Counter(fmt.Sprintf("ecgate_tenant_rejected_total{tenant=%q}", name)).Value(),
+			Inflight:   g.reg.Gauge(fmt.Sprintf("ecgate_tenant_inflight{tenant=%q}", name)).Value(),
+			Requests:   h.Count(),
+			P99Seconds: h.Quantile(0.99),
+		}
+		return true
+	})
 	return st
 }
 

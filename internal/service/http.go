@@ -25,6 +25,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // httpStatus maps gateway errors onto status codes and Retry-After hints.
+// Admission rejections carry the policy's live hint (queue depth or
+// token refill time) on the OverloadError; a bare ErrOverloaded keeps
+// the historical 1-second floor.
 func httpStatus(err error) (code int, retryAfter string) {
 	switch {
 	case err == nil:
@@ -32,7 +35,12 @@ func httpStatus(err error) (code int, retryAfter string) {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound, ""
 	case errors.Is(err, ErrOverloaded):
-		return http.StatusTooManyRequests, "1"
+		retry := "1"
+		var oe *OverloadError
+		if errors.As(err, &oe) && oe.RetryAfter > time.Second {
+			retry = strconv.Itoa(int((oe.RetryAfter + time.Second - 1) / time.Second))
+		}
+		return http.StatusTooManyRequests, retry
 	case errors.Is(err, ErrInsufficientShards):
 		return http.StatusServiceUnavailable, "2"
 	case errors.Is(err, ErrTooLarge):
@@ -163,7 +171,8 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string)
 	start := time.Now()
 	key := r.PathValue("key")
 	reqID := requestID(w, r)
-	r = r.WithContext(WithRequestID(r.Context(), reqID))
+	tenant := r.Header.Get(TenantHeader)
+	r = r.WithContext(WithTenant(WithRequestID(r.Context(), reqID), tenant))
 	var (
 		status  int
 		bytesN  int64
@@ -220,6 +229,10 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string)
 	dur := time.Since(start)
 	g.reg.Counter(fmt.Sprintf("ecgate_requests_total{op=%q,code=\"%d\"}", op, status)).Inc()
 	g.reg.Histogram(fmt.Sprintf("ecgate_request_seconds{op=%q}", op)).Observe(dur)
+	if tenant != "" {
+		g.reg.Counter(fmt.Sprintf("ecgate_tenant_requests_total{tenant=%q,op=%q}", tenant, op)).Inc()
+		g.reg.Histogram(fmt.Sprintf("ecgate_tenant_request_seconds{tenant=%q}", tenant)).Observe(dur)
+	}
 
 	attrs := []slog.Attr{
 		slog.String("request_id", reqID),
@@ -237,6 +250,9 @@ func (g *Gateway) serveObject(w http.ResponseWriter, r *http.Request, op string)
 	}
 	if op == "put" && written > 0 && written < g.cfg.K+g.cfg.M {
 		attrs = append(attrs, slog.Int("written_shards", written))
+	}
+	if tenant != "" {
+		attrs = append(attrs, slog.String("tenant", tenant))
 	}
 	if opErr != nil {
 		attrs = append(attrs, slog.String("error", opErr.Error()))

@@ -208,6 +208,9 @@ func TestHTTPOverload(t *testing.T) {
 	srv := httptest.NewServer(gw.Handler())
 	t.Cleanup(srv.Close)
 	gc := NewGateClient(srv.URL)
+	// Observe the raw server mapping: client-side 429 retries would each
+	// be rejected too, raising the pressure-derived Retry-After hint.
+	gc.SetRetries(0)
 	ctx := context.Background()
 
 	done := make(chan error, 1)
@@ -223,7 +226,7 @@ func TestHTTPOverload(t *testing.T) {
 		t.Fatalf("overloaded put: got %v, want 429", err)
 	}
 	if se.RetryAfter != "1" {
-		t.Fatalf("429 Retry-After = %q, want \"1\"", se.RetryAfter)
+		t.Fatalf("429 Retry-After = %q, want \"1\" on an idle-edge rejection", se.RetryAfter)
 	}
 	close(release)
 	if err := <-done; err != nil {

@@ -68,6 +68,30 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound
+// of the bucket holding the q-th observation — a conservative estimate,
+// never below the true value while it lands in a finite bucket. With no
+// observations it returns 0; when the quantile falls in the +Inf bucket
+// it returns the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry is a named collection of metric series.
 type Registry struct {
 	mu     sync.Mutex

@@ -1,0 +1,39 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"ecarray/internal/qos"
+)
+
+// AdmissionMiddleware guards an HTTP handler with a qos.AdmissionPolicy:
+// each request is admitted under the identity in its X-Tenant header
+// (empty = anonymous), shaped by sleeping the policy's throttle delay,
+// or refused with 429 and a Retry-After hint. ecstored uses it to bound
+// per-daemon inflight work (-max-inflight); the gateway classifies the
+// resulting 429s as transient and retries around them.
+func AdmissionMiddleware(pol qos.AdmissionPolicy, next http.Handler) http.Handler {
+	if pol == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req := qos.Request{Tenant: r.Header.Get(TenantHeader), Cost: 1, Now: time.Now().UnixNano()}
+		d := pol.Admit(req)
+		if !d.Admit {
+			retry := "1"
+			if d.RetryAfter > time.Second {
+				retry = strconv.Itoa(int((d.RetryAfter + time.Second - 1) / time.Second))
+			}
+			w.Header().Set("Retry-After", retry)
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		defer pol.Release(req)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -772,7 +772,7 @@ func TestGateClientRetry(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 	gc := NewGateClient(srv.URL)
-	gc.maxRetryWait = 10 * time.Millisecond
+	gc.retry.Cap = 10 * time.Millisecond
 	ctx := context.Background()
 
 	oi, err := gc.PutObject(ctx, "k", []byte("abc"))

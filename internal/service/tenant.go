@@ -1,0 +1,26 @@
+package service
+
+import "context"
+
+// TenantHeader is the HTTP header carrying the requesting tenant's
+// identity on object and shard requests.
+const TenantHeader = "X-Tenant"
+
+// tenantKey is the context key carrying the requesting tenant's name.
+type tenantKey struct{}
+
+// WithTenant attaches a tenant identity (the X-Tenant header value) to
+// a request context; the gateway's admission policy keys per-tenant
+// limits and metrics off it. Empty names are the anonymous tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant attached by WithTenant ("" if none).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

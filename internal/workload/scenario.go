@@ -40,6 +40,7 @@ type Scenario struct {
 	phases []phaseDef
 	ramp   time.Duration
 	sample time.Duration
+	qosDst *QoSReport
 	err    error
 }
 
@@ -138,6 +139,28 @@ func (s *Scenario) SampleEvery(interval time.Duration) *Scenario {
 		return s.fail("sample interval must be positive")
 	}
 	s.sample = interval
+	return s
+}
+
+// QoSReport is the per-tenant admission outcome of one scenario run:
+// the whole-run counter delta plus one delta per phase (same boundaries
+// as ScenarioResult.PhaseMetrics). All zero unless the cluster has an
+// admission policy configured (core.Config.QoS) and jobs carry tenants.
+type QoSReport struct {
+	Total  core.QoSMetrics
+	Phases []core.QoSMetrics
+}
+
+// CaptureQoS asks Run to fill dst with the per-tenant admission ledger,
+// windowed at the same phase boundaries as the cluster metrics. The
+// report lives outside ScenarioResult so the result's rendering — and
+// the golden digests folded over it — is untouched whether or not QoS
+// is in play.
+func (s *Scenario) CaptureQoS(dst *QoSReport) *Scenario {
+	if dst == nil {
+		return s.fail("CaptureQoS needs a destination")
+	}
+	s.qosDst = dst
 	return s
 }
 
@@ -267,14 +290,81 @@ func (r *ScenarioResult) String() string {
 
 // --- events ---
 
+// Timeline is the validation context an Event sees at Run time: the
+// cluster the scenario runs on, the instant the event fires, and the
+// projected OSD state at that instant — the initial out/degraded sets
+// come from the cluster's current state and every earlier event's
+// Validate folds its own effect in. Events at the same instant validate
+// in scheduling (At-call) order, matching how they fire.
+type Timeline struct {
+	cluster  *core.Cluster
+	at       time.Duration
+	out      map[int]bool
+	degraded map[int]bool
+}
+
+// newTimeline seeds the projected OSD state from the cluster, so acting
+// on an OSD failed or degraded before the scenario was built stays valid.
+func newTimeline(c *core.Cluster) *Timeline {
+	tl := &Timeline{cluster: c, out: map[int]bool{}, degraded: map[int]bool{}}
+	for _, o := range c.OSDs() {
+		if !o.Up() {
+			tl.out[o.ID] = true
+		}
+		if c.OSDHealth(o.ID).Degraded {
+			tl.degraded[o.ID] = true
+		}
+	}
+	return tl
+}
+
+// Cluster returns the cluster the scenario will run on.
+func (tl *Timeline) Cluster() *core.Cluster { return tl.cluster }
+
+// At returns the scenario-clock offset the event under validation fires at.
+func (tl *Timeline) At() time.Duration { return tl.at }
+
+// OSDOut reports whether OSD id is projected out at this point of the
+// timeline (failed by an earlier event, or already out before the run).
+func (tl *Timeline) OSDOut(id int) bool { return tl.out[id] }
+
+// OSDDegraded reports whether OSD id is projected gray-degraded at this
+// point of the timeline.
+func (tl *Timeline) OSDDegraded(id int) bool { return tl.degraded[id] }
+
+// checkOSD validates an OSD id against the cluster size.
+func (tl *Timeline) checkOSD(what string, id int) error {
+	if id < 0 || id >= len(tl.cluster.OSDs()) {
+		return fmt.Errorf("workload: %s(%d): cluster has %d OSDs", what, id, len(tl.cluster.OSDs()))
+	}
+	return nil
+}
+
+// checkPool validates a pool name against the cluster.
+func (tl *Timeline) checkPool(what, pool string) error {
+	if tl.cluster.Pool(pool) == nil {
+		return fmt.Errorf("workload: %s: no pool %q", what, pool)
+	}
+	return nil
+}
+
 // Event is a scheduled cluster action inside a scenario. Events are built
-// with the constructors below (FailOSD, RestoreOSD, StartRecovery,
-// SetRecoveryRate, Callback) and scheduled with Scenario.At.
+// with the constructors below (FailOSD, RestoreOSD, DegradeOSD,
+// StartRecovery, SetRecoveryRate, Callback, ...) and scheduled with
+// Scenario.At. Every event validates itself against the Timeline — the
+// cluster plus the projected OSD state at its firing instant — in one
+// time-ordered pass before anything runs, so sequences that would
+// silently no-op or mix failure modes (restoring an OSD that is not out,
+// degrading one that is) are rejected up front.
 type Event interface {
 	fmt.Stringer
-	// check validates the event against the cluster at Run time.
-	check(c *core.Cluster) error
-	// run executes the event as a simulation process.
+	// Validate checks the event against the timeline at its firing
+	// instant and folds its own state effect into the projection for the
+	// events after it.
+	Validate(tl *Timeline) error
+	// run executes the event as a simulation process. Unexported: events
+	// are built with this package's constructors (Callback is the
+	// escape hatch for custom actions).
 	run(p *sim.Proc, r *scenarioRun)
 }
 
@@ -285,10 +375,11 @@ type failOSD struct{ id int }
 func FailOSD(id int) Event { return failOSD{id} }
 
 func (ev failOSD) String() string { return fmt.Sprintf("fail-osd(%d)", ev.id) }
-func (ev failOSD) check(c *core.Cluster) error {
-	if ev.id < 0 || ev.id >= len(c.OSDs()) {
-		return fmt.Errorf("workload: FailOSD(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+func (ev failOSD) Validate(tl *Timeline) error {
+	if err := tl.checkOSD("FailOSD", ev.id); err != nil {
+		return err
 	}
+	tl.out[ev.id] = true
 	return nil
 }
 func (ev failOSD) run(p *sim.Proc, r *scenarioRun) { r.c.MarkOSDOut(ev.id) }
@@ -319,10 +410,15 @@ func (ev restoreOSD) String() string {
 	}
 	return fmt.Sprintf("restore-osd(%d)", ev.id)
 }
-func (ev restoreOSD) check(c *core.Cluster) error {
-	if ev.id < 0 || ev.id >= len(c.OSDs()) {
-		return fmt.Errorf("workload: RestoreOSD(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+func (ev restoreOSD) Validate(tl *Timeline) error {
+	if err := tl.checkOSD("RestoreOSD", ev.id); err != nil {
+		return err
 	}
+	if !tl.out[ev.id] {
+		return fmt.Errorf("workload: %s at %v: osd%d is not out at that point in the timeline",
+			ev, tl.at, ev.id)
+	}
+	delete(tl.out, ev.id)
 	return nil
 }
 func (ev restoreOSD) run(p *sim.Proc, r *scenarioRun) {
@@ -350,11 +446,8 @@ type startScrub struct{ pool string }
 func StartScrub(pool string) Event { return startScrub{pool} }
 
 func (ev startScrub) String() string { return fmt.Sprintf("start-scrub(%s)", ev.pool) }
-func (ev startScrub) check(c *core.Cluster) error {
-	if c.Pool(ev.pool) == nil {
-		return fmt.Errorf("workload: StartScrub: no pool %q", ev.pool)
-	}
-	return nil
+func (ev startScrub) Validate(tl *Timeline) error {
+	return tl.checkPool("StartScrub", ev.pool)
 }
 func (ev startScrub) run(p *sim.Proc, r *scenarioRun) {
 	pl := r.c.Pool(ev.pool)
@@ -382,9 +475,9 @@ func InjectCorruption(pool, obj string, shard int) Event {
 func (ev injectCorruption) String() string {
 	return fmt.Sprintf("inject-corruption(%s, %s, shard %d)", ev.pool, ev.obj, ev.shard)
 }
-func (ev injectCorruption) check(c *core.Cluster) error {
-	if c.Pool(ev.pool) == nil {
-		return fmt.Errorf("workload: InjectCorruption: no pool %q", ev.pool)
+func (ev injectCorruption) Validate(tl *Timeline) error {
+	if err := tl.checkPool("InjectCorruption", ev.pool); err != nil {
+		return err
 	}
 	if ev.shard < 0 {
 		return fmt.Errorf("workload: InjectCorruption: negative shard position %d", ev.shard)
@@ -417,9 +510,9 @@ type degradeOSD struct {
 func DegradeOSD(id int, deg core.OSDDegradation) Event { return degradeOSD{id: id, deg: deg} }
 
 func (ev degradeOSD) String() string { return fmt.Sprintf("degrade-osd(%d)", ev.id) }
-func (ev degradeOSD) check(c *core.Cluster) error {
-	if ev.id < 0 || ev.id >= len(c.OSDs()) {
-		return fmt.Errorf("workload: DegradeOSD(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+func (ev degradeOSD) Validate(tl *Timeline) error {
+	if err := tl.checkOSD("DegradeOSD", ev.id); err != nil {
+		return err
 	}
 	if !ev.deg.Active() {
 		return fmt.Errorf("workload: DegradeOSD(%d): degradation has no active knobs", ev.id)
@@ -427,6 +520,11 @@ func (ev degradeOSD) check(c *core.Cluster) error {
 	if ev.deg.NetLatencyMultiplier < 0 {
 		return fmt.Errorf("workload: DegradeOSD(%d): negative net latency multiplier", ev.id)
 	}
+	if tl.out[ev.id] {
+		return fmt.Errorf("workload: %s at %v: osd%d is out at that point in the timeline (restore it first)",
+			ev, tl.at, ev.id)
+	}
+	tl.degraded[ev.id] = true
 	return nil
 }
 func (ev degradeOSD) run(p *sim.Proc, r *scenarioRun) {
@@ -448,10 +546,15 @@ type restoreOSDHealth struct{ id int }
 func RestoreOSDHealth(id int) Event { return restoreOSDHealth{id: id} }
 
 func (ev restoreOSDHealth) String() string { return fmt.Sprintf("restore-osd-health(%d)", ev.id) }
-func (ev restoreOSDHealth) check(c *core.Cluster) error {
-	if ev.id < 0 || ev.id >= len(c.OSDs()) {
-		return fmt.Errorf("workload: RestoreOSDHealth(%d): cluster has %d OSDs", ev.id, len(c.OSDs()))
+func (ev restoreOSDHealth) Validate(tl *Timeline) error {
+	if err := tl.checkOSD("RestoreOSDHealth", ev.id); err != nil {
+		return err
 	}
+	if !tl.degraded[ev.id] {
+		return fmt.Errorf("workload: %s at %v: osd%d is not degraded at that point in the timeline",
+			ev, tl.at, ev.id)
+	}
+	delete(tl.degraded, ev.id)
 	return nil
 }
 func (ev restoreOSDHealth) run(p *sim.Proc, r *scenarioRun) {
@@ -473,11 +576,8 @@ type startRecovery struct{ pool string }
 func StartRecovery(pool string) Event { return startRecovery{pool} }
 
 func (ev startRecovery) String() string { return fmt.Sprintf("start-recovery(%s)", ev.pool) }
-func (ev startRecovery) check(c *core.Cluster) error {
-	if c.Pool(ev.pool) == nil {
-		return fmt.Errorf("workload: StartRecovery: no pool %q", ev.pool)
-	}
-	return nil
+func (ev startRecovery) Validate(tl *Timeline) error {
+	return tl.checkPool("StartRecovery", ev.pool)
 }
 func (ev startRecovery) run(p *sim.Proc, r *scenarioRun) {
 	pl := r.c.Pool(ev.pool)
@@ -502,11 +602,8 @@ func SetRecoveryRate(pool string, bytesPerSec int64) Event {
 func (ev setRecoveryRate) String() string {
 	return fmt.Sprintf("set-recovery-rate(%s, %d B/s)", ev.pool, ev.rate)
 }
-func (ev setRecoveryRate) check(c *core.Cluster) error {
-	if c.Pool(ev.pool) == nil {
-		return fmt.Errorf("workload: SetRecoveryRate: no pool %q", ev.pool)
-	}
-	return nil
+func (ev setRecoveryRate) Validate(tl *Timeline) error {
+	return tl.checkPool("SetRecoveryRate", ev.pool)
 }
 func (ev setRecoveryRate) run(p *sim.Proc, r *scenarioRun) {
 	r.c.Pool(ev.pool).SetRecoveryRate(ev.rate)
@@ -525,7 +622,7 @@ func Callback(name string, fn func(p *sim.Proc, c *core.Cluster)) Event {
 }
 
 func (ev callback) String() string { return ev.name }
-func (ev callback) check(c *core.Cluster) error {
+func (ev callback) Validate(tl *Timeline) error {
 	if ev.fn == nil {
 		return errors.New("workload: Callback with nil function")
 	}
@@ -566,8 +663,9 @@ type scenarioRun struct {
 	end   sim.Time // absolute scenario end
 
 	phases     []PhaseInfo
-	snaps      []core.Metrics      // len(phases)+1 boundary snapshots
-	graySnaps  []core.GrayMetrics  // same boundaries, tail-tolerance counters
+	snaps      []core.Metrics     // len(phases)+1 boundary snapshots
+	graySnaps  []core.GrayMetrics // same boundaries, tail-tolerance counters
+	qosSnaps   []core.QoSMetrics  // same boundaries, per-tenant admission ledger
 	jobs       []*jobState
 	mergedThr  *stats.Series
 	samples    []Sample
@@ -611,13 +709,18 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 			return nil, fmt.Errorf("workload: job %q: image smaller than one block", s.jobs[i].job.Name)
 		}
 	}
-	for _, se := range s.events {
-		if err := se.ev.check(s.c); err != nil {
+	// One time-ordered validation pass: every event checks itself against
+	// the projected cluster state at its firing instant (events at the
+	// same instant validate in At-call order, matching how they fire).
+	ordered := make([]scheduledEvent, len(s.events))
+	copy(ordered, s.events)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
+	tl := newTimeline(s.c)
+	for _, se := range ordered {
+		tl.at = se.at
+		if err := se.ev.Validate(tl); err != nil {
 			return nil, err
 		}
-	}
-	if err := s.checkFailRestoreOrder(); err != nil {
-		return nil, err
 	}
 
 	r := &scenarioRun{s: s, c: s.c, e: s.c.Engine()}
@@ -658,6 +761,7 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 	}
 	r.snaps = make([]core.Metrics, len(r.phases)+1)
 	r.graySnaps = make([]core.GrayMetrics, len(r.phases)+1)
+	r.qosSnaps = make([]core.QoSMetrics, len(r.phases)+1)
 
 	// Collect the cluster event log for the duration of the run.
 	r.c.SetEventHook(func(ev core.ClusterEvent) {
@@ -685,11 +789,13 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 		r.e.Schedule(r.phases[i].Start, func() {
 			r.snaps[i] = r.c.Metrics()
 			r.graySnaps[i] = r.c.GrayMetrics()
+			r.qosSnaps[i] = r.c.QoSMetrics()
 		})
 	}
 	r.e.Schedule(end, func() {
 		r.snaps[len(r.phases)] = r.c.Metrics()
 		r.graySnaps[len(r.phases)] = r.c.GrayMetrics()
+		r.qosSnaps[len(r.phases)] = r.c.QoSMetrics()
 	})
 
 	// Samplers: merged cluster series over the whole scenario, plus
@@ -720,56 +826,6 @@ func (s *Scenario) Run() (*ScenarioResult, error) {
 	r.e.Run()
 
 	return r.collect(), nil
-}
-
-// checkFailRestoreOrder walks the event timeline (events at the same
-// instant fire in scheduling order, i.e. At-call order) and rejects
-// sequences that would silently no-op or mix failure modes, which always
-// means a mis-specified scenario: a RestoreOSD whose target is not out at
-// that point, a DegradeOSD on an OSD that is out (fail-stop and gray
-// failure are distinct states), and a RestoreOSDHealth on an OSD no
-// earlier event degraded. The initial out/degraded sets come from the
-// cluster's current state, so acting on an OSD failed or degraded before
-// the scenario was built stays valid.
-func (s *Scenario) checkFailRestoreOrder() error {
-	ordered := make([]scheduledEvent, len(s.events))
-	copy(ordered, s.events)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
-	out := map[int]bool{}
-	degraded := map[int]bool{}
-	for _, o := range s.c.OSDs() {
-		if !o.Up() {
-			out[o.ID] = true
-		}
-		if s.c.OSDHealth(o.ID).Degraded {
-			degraded[o.ID] = true
-		}
-	}
-	for _, se := range ordered {
-		switch ev := se.ev.(type) {
-		case failOSD:
-			out[ev.id] = true
-		case restoreOSD:
-			if !out[ev.id] {
-				return fmt.Errorf("workload: %s at %v: osd%d is not out at that point in the timeline",
-					se.ev, se.at, ev.id)
-			}
-			delete(out, ev.id)
-		case degradeOSD:
-			if out[ev.id] {
-				return fmt.Errorf("workload: %s at %v: osd%d is out at that point in the timeline (restore it first)",
-					se.ev, se.at, ev.id)
-			}
-			degraded[ev.id] = true
-		case restoreOSDHealth:
-			if !degraded[ev.id] {
-				return fmt.Errorf("workload: %s at %v: osd%d is not degraded at that point in the timeline",
-					se.ev, se.at, ev.id)
-			}
-			delete(degraded, ev.id)
-		}
-	}
-	return nil
 }
 
 // startJob allocates a job's state and spawns its load generators
@@ -853,13 +909,19 @@ func (r *scenarioRun) doOp(p *sim.Proc, js *jobState, off int64, op Op) {
 	issued := p.Now()
 	var err error
 	if op == Write {
-		err = js.sj.img.Write(p, off, js.payload, job.BlockSize)
+		err = js.sj.img.WriteFor(p, job.Tenant, off, js.payload, job.BlockSize)
 	} else {
-		_, err = js.sj.img.Read(p, off, job.BlockSize)
+		_, err = js.sj.img.ReadFor(p, job.Tenant, off, job.BlockSize)
 	}
 	done := p.Now()
 	if err != nil {
 		js.errs++
+		if done == issued {
+			// The op failed without charging any virtual time (admission
+			// rejection): pace the retry, or a closed-loop worker would
+			// spin forever at the same instant.
+			p.Sleep(time.Millisecond)
+		}
 		return
 	}
 	if done < js.measureStart || done > js.windowEnd {
@@ -1011,6 +1073,12 @@ func (r *scenarioRun) collect() *ScenarioResult {
 	for i := range r.phases {
 		res.PhaseMetrics = append(res.PhaseMetrics, r.snaps[i+1].Since(r.snaps[i]))
 		res.PhaseGray = append(res.PhaseGray, r.graySnaps[i+1].Sub(r.graySnaps[i]))
+	}
+	if r.s.qosDst != nil {
+		*r.s.qosDst = QoSReport{Total: r.qosSnaps[len(r.phases)].Sub(r.qosSnaps[0])}
+		for i := range r.phases {
+			r.s.qosDst.Phases = append(r.s.qosDst.Phases, r.qosSnaps[i+1].Sub(r.qosSnaps[i]))
+		}
 	}
 	for _, js := range r.jobs {
 		job := js.sj.job

@@ -87,7 +87,13 @@ func (a Arrival) String() string {
 
 // Job describes one FIO-style load generator.
 type Job struct {
-	Name      string
+	Name string
+	// Tenant is the identity the job's ops run under. When the cluster
+	// has an admission policy configured (core.Config.QoS), every op
+	// passes through it under this name and the per-tenant outcome
+	// counters land in the scenario's QoSReport; rejected ops count as
+	// job errors. Empty is the anonymous tenant.
+	Tenant    string
 	Op        Op
 	Pattern   Pattern
 	BlockSize int64
